@@ -1,0 +1,126 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// sizes of RETCON's hardware structures (IVB / constraint buffer / SSB),
+// the predictor's violation penalty, and the contention manager's NACK
+// retry interval. Each prints a sweep so the sensitivity is visible in
+// bench output.
+package retcon_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	retcon "repro"
+)
+
+func ablationSpeedup(b *testing.B, name string, mutate func(*retcon.Config)) float64 {
+	b.Helper()
+	w, err := retcon.LookupWorkload(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := retcon.DefaultConfig()
+	cfg.Mode = retcon.ModeRetCon
+	mutate(&cfg)
+	sp, _, _, err := retcon.Speedup(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkAblationStructureSizes sweeps the IVB/constraint/SSB sizes on
+// python_opt, the workload with the largest structure footprint
+// (Table 3). The paper's 16/16/32 sizing should be on the flat part of
+// the curve.
+func BenchmarkAblationStructureSizes(b *testing.B) {
+	type point struct {
+		ivb, cons, ssb int
+		speedup        float64
+	}
+	var pts []point
+	for i := 0; i < b.N; i++ {
+		pts = pts[:0]
+		for _, sz := range []int{2, 4, 8, 16, 32} {
+			sp := ablationSpeedup(b, "python_opt", func(c *retcon.Config) {
+				c.Retcon.IVBEntries = sz
+				c.Retcon.ConstraintEntries = sz
+				c.Retcon.SSBEntries = 2 * sz
+			})
+			pts = append(pts, point{sz, sz, 2 * sz, sp})
+		}
+	}
+	b.StopTimer()
+	fmt.Fprintln(os.Stdout, "Ablation: RETCON structure sizes (python_opt, RETCON mode)")
+	for _, p := range pts {
+		fmt.Fprintf(os.Stdout, "  IVB=%2d constraints=%2d SSB=%2d  speedup %6.2fx\n", p.ivb, p.cons, p.ssb, p.speedup)
+		b.ReportMetric(p.speedup, fmt.Sprintf("ivb%d_speedup", p.ivb))
+	}
+}
+
+// BenchmarkAblationViolationPenalty sweeps the predictor's train-down
+// penalty on yada, where constraints are frequently violated: too small a
+// penalty re-attempts symbolic tracking into guaranteed violations.
+func BenchmarkAblationViolationPenalty(b *testing.B) {
+	penalties := []int{1, 10, 100, 1000}
+	sps := make([]float64, len(penalties))
+	for i := 0; i < b.N; i++ {
+		for j, pen := range penalties {
+			sps[j] = ablationSpeedup(b, "yada", func(c *retcon.Config) {
+				c.ViolationPenalty = pen
+			})
+		}
+	}
+	b.StopTimer()
+	fmt.Fprintln(os.Stdout, "Ablation: predictor violation penalty (yada, RETCON mode)")
+	for j, pen := range penalties {
+		fmt.Fprintf(os.Stdout, "  penalty=%4d  speedup %6.2fx\n", pen, sps[j])
+	}
+}
+
+// BenchmarkAblationNackRetry sweeps the contention manager's retry
+// interval on the queue-serialized intruder: handoff latency for hot
+// words is quantized by this knob.
+func BenchmarkAblationNackRetry(b *testing.B) {
+	retries := []int64{4, 10, 20, 40}
+	sps := make([]float64, len(retries))
+	for i := 0; i < b.N; i++ {
+		for j, r := range retries {
+			sps[j] = ablationSpeedup(b, "intruder", func(c *retcon.Config) {
+				c.NackRetry = r
+				c.Mode = retcon.ModeEager
+			})
+		}
+	}
+	b.StopTimer()
+	fmt.Fprintln(os.Stdout, "Ablation: NACK retry interval (intruder, eager mode)")
+	for j, r := range retries {
+		fmt.Fprintf(os.Stdout, "  retry=%3d cycles  speedup %6.2fx\n", r, sps[j])
+	}
+}
+
+// BenchmarkAblationWrittenBitOptimization compares commit overhead with
+// and without the §4.4 upgrade optimization by proxy: parallel reacquire
+// on vs off on genome-sz (the knob shares the code path).
+func BenchmarkAblationIdealKnobs(b *testing.B) {
+	knobs := []struct {
+		name   string
+		mutate func(*retcon.Config)
+	}{
+		{"default", func(c *retcon.Config) {}},
+		{"parallel-reacquire", func(c *retcon.Config) { c.IdealParallelReacquire = true }},
+		{"free-stores", func(c *retcon.Config) { c.IdealZeroStoreLatency = true }},
+		{"unlimited-state", func(c *retcon.Config) { c.IdealUnlimited = true }},
+	}
+	sps := make([]float64, len(knobs))
+	for i := 0; i < b.N; i++ {
+		for j, k := range knobs {
+			sps[j] = ablationSpeedup(b, "python_opt", k.mutate)
+		}
+	}
+	b.StopTimer()
+	fmt.Fprintln(os.Stdout, "Ablation: idealization knobs in isolation (python_opt)")
+	for j, k := range knobs {
+		fmt.Fprintf(os.Stdout, "  %-20s speedup %6.2fx\n", k.name, sps[j])
+	}
+}

@@ -1,0 +1,173 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the full 32-core simulation set behind
+// its figure/table and prints the same rows the paper reports, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Shapes (who wins, by what factor)
+// should match the paper; EXPERIMENTS.md records paper-vs-measured.
+package retcon_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	retcon "repro"
+	"repro/internal/figure2"
+	"repro/internal/report"
+)
+
+// benchHarness is shared across benchmarks so the underlying simulations
+// run once regardless of b.N (results are deterministic; re-simulating
+// per iteration would only re-measure the same cycle counts).
+var (
+	benchOnce sync.Once
+	benchH    *report.Harness
+)
+
+func harness() *report.Harness {
+	benchOnce.Do(func() {
+		benchH = report.NewHarness(retcon.DefaultConfig())
+	})
+	return benchH
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	h := harness()
+	var rows []report.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteSpeedups(os.Stdout, "Figure 1: eager-HTM scalability, 32 cores", rows)
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, r.Workload+"_speedup")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	var final int64
+	for i := 0; i < b.N; i++ {
+		for _, tl := range figure2.All() {
+			final += tl.Final
+		}
+	}
+	if final == 0 {
+		b.Fatal("figure 2 timelines empty")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	h := harness()
+	var rows []report.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteSpeedups(os.Stdout, "Figure 3: eager scalability, before/after restructurings", rows)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	h := harness()
+	var rows []report.BreakdownRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteBreakdowns(os.Stdout, "Figure 4: time breakdown (eager)", rows)
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	h := harness()
+	var rows []report.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteSpeedups(os.Stdout, "Figure 9: eager / lazy-vb / RETCON", rows)
+	for _, r := range rows {
+		if r.Mode == retcon.ModeRetCon {
+			b.ReportMetric(r.Speedup, r.Workload+"_retcon_speedup")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	h := harness()
+	var rows []report.BreakdownRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteBreakdowns(os.Stdout, "Figure 10: breakdown normalized to eager", rows)
+}
+
+func BenchmarkTable3(b *testing.B) {
+	h := harness()
+	var rows []report.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteTable3(os.Stdout, rows)
+}
+
+func BenchmarkIdealizedRetcon(b *testing.B) {
+	h := harness()
+	var rows []report.IdealRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = h.IdealComparison([]string{"genome-sz", "intruder_opt-sz", "vacation_opt-sz", "python_opt"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.WriteIdeal(os.Stdout, rows)
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (core-cycles per second) on the genome workload — useful when tuning
+// the simulator itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := retcon.LookupWorkload("genome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := retcon.DefaultConfig()
+	cfg.Mode = retcon.ModeRetCon
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := retcon.Run(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles * int64(cfg.Cores)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "core-cycles/s")
+}

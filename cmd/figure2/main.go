@@ -1,0 +1,20 @@
+// Command figure2 prints the paper's Figure 2: event timelines for two
+// processors incrementing a shared counter twice each, under RETCON, DATM,
+// EagerTM, EagerTM-Stall and LazyTM.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/figure2"
+)
+
+func main() {
+	fmt.Println("Figure 2: two processors, two increments each, shared counter (initial 0)")
+	for _, tl := range figure2.All() {
+		fmt.Printf("\n== %s ==  final=%d aborts=%d stalls=%d\n", tl.Protocol, tl.Final, tl.Aborts, tl.Stalls)
+		for _, e := range tl.Events {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command paperbench regenerates the paper's evaluation: every figure and
+// table of Blundell et al., "RETCON: Transactional Repair Without Replay".
+//
+// Usage:
+//
+//	paperbench                 # everything (Figures 1,3,4,9,10; Tables 2,3; ideal)
+//	paperbench -fig 9          # one figure
+//	paperbench -table 3        # one table
+//	paperbench -table ideal    # the §5.3 idealized-system comparison
+//	paperbench -cores 16       # override the machine size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	retcon "repro"
+	"repro/internal/figure2"
+	"repro/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "", "regenerate one figure: 1, 2, 3, 4, 9 or 10")
+	table := flag.String("table", "", "regenerate one table: 2, 3 or ideal")
+	cores := flag.Int("cores", 32, "number of simulated cores")
+	seed := flag.Int64("seed", 1, "workload input seed")
+	flag.Parse()
+
+	cfg := retcon.DefaultConfig()
+	cfg.Cores = *cores
+	h := report.NewHarness(cfg)
+	h.Seed = *seed
+
+	all := *fig == "" && *table == ""
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+
+	if all || *fig == "1" {
+		rows, err := h.Figure1()
+		if err != nil {
+			fail(err)
+		}
+		report.WriteSpeedups(out, fmt.Sprintf("Figure 1: eager-HTM scalability on %d cores (speedup over seq)", *cores), rows)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == "2" {
+		fmt.Fprintln(out, "Figure 2: shared-counter timelines (2 procs x 2 increments)")
+		for _, tl := range figure2.All() {
+			fmt.Fprintf(out, "-- %s (final=%d, aborts=%d, stalls=%d)\n", tl.Protocol, tl.Final, tl.Aborts, tl.Stalls)
+			for _, e := range tl.Events {
+				fmt.Fprintf(out, "   %s\n", e)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if all || *fig == "3" {
+		rows, err := h.Figure3()
+		if err != nil {
+			fail(err)
+		}
+		report.WriteSpeedups(out, "Figure 3: eager scalability before/after software restructurings", rows)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == "4" {
+		rows, err := h.Figure4()
+		if err != nil {
+			fail(err)
+		}
+		report.WriteBreakdowns(out, "Figure 4: execution-time breakdown (eager baseline)", rows)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == "9" {
+		rows, err := h.Figure9()
+		if err != nil {
+			fail(err)
+		}
+		report.WriteSpeedups(out, "Figure 9: scalability under eager / lazy-vb / RETCON", rows)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == "10" {
+		rows, err := h.Figure10()
+		if err != nil {
+			fail(err)
+		}
+		report.WriteBreakdowns(out, "Figure 10: breakdown normalized to eager", rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == "2" {
+		report.WriteTable2(out)
+		fmt.Fprintln(out)
+	}
+	if all || *table == "3" {
+		rows, err := h.Table3()
+		if err != nil {
+			fail(err)
+		}
+		report.WriteTable3(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == "ideal" {
+		rows, err := h.IdealComparison([]string{"genome-sz", "intruder_opt-sz", "vacation_opt-sz", "python_opt"})
+		if err != nil {
+			fail(err)
+		}
+		report.WriteIdeal(out, rows)
+	}
+}

@@ -1,0 +1,103 @@
+// Command retcon-sim runs one workload on the simulated machine and prints
+// its statistics: cycles, speedup over sequential, execution-time
+// breakdown, abort/commit counts and (in RETCON mode) Table 3 structure
+// utilization.
+//
+// Usage:
+//
+//	retcon-sim -workload genome-sz -mode retcon -cores 32
+//	retcon-sim -workload counter -cores 2 -trace   # per-event timeline
+//	retcon-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	retcon "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	name := flag.String("workload", "counter", "workload name (see -list)")
+	modeStr := flag.String("mode", "eager", "conflict handling: eager, lazy-vb or retcon")
+	cores := flag.Int("cores", 32, "number of simulated cores")
+	seed := flag.Int64("seed", 1, "workload input seed")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	speedup := flag.Bool("speedup", true, "also run the 1-core sequential baseline")
+	trace := flag.Bool("trace", false, "print a per-event transactional timeline (small runs only)")
+	flag.Parse()
+
+	if *list {
+		for _, w := range retcon.Workloads() {
+			fmt.Printf("%-18s %s\n", w.Name(), w.Description())
+		}
+		return
+	}
+
+	var mode retcon.Mode
+	switch *modeStr {
+	case "eager":
+		mode = retcon.ModeEager
+	case "lazy-vb":
+		mode = retcon.ModeLazyVB
+	case "retcon":
+		mode = retcon.ModeRetCon
+	default:
+		fmt.Fprintf(os.Stderr, "retcon-sim: unknown mode %q (eager, lazy-vb, retcon)\n", *modeStr)
+		os.Exit(2)
+	}
+
+	w, err := retcon.LookupWorkload(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+		os.Exit(2)
+	}
+
+	cfg := retcon.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.Mode = mode
+	var res *retcon.Result
+	if *trace {
+		res, err = retcon.RunTraced(w, cfg, *seed, os.Stdout)
+	} else {
+		res, err = retcon.RunSeeded(w, cfg, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+		os.Exit(1)
+	}
+
+	tot := res.Sim.Totals()
+	fmt.Printf("workload  %s (%s)\n", w.Name(), w.Description())
+	fmt.Printf("machine   %d cores, mode %v\n", *cores, mode)
+	fmt.Printf("cycles    %d\n", res.Cycles)
+	fmt.Printf("instrs    %d\n", tot.Instrs)
+	fmt.Printf("commits   %d   aborts %d   nacks %d   overflows %d\n",
+		tot.Commits, tot.Aborts, tot.Nacks, tot.Overflows)
+	bd := res.Sim.Breakdown()
+	fmt.Printf("breakdown busy %.1f%%  barrier %.1f%%  conflict %.1f%%  other %.1f%%\n",
+		100*bd[sim.CatBusy], 100*bd[sim.CatBarrier], 100*bd[sim.CatConflict], 100*bd[sim.CatOther])
+
+	if mode == retcon.ModeRetCon || mode == retcon.ModeLazyVB {
+		t3 := res.Sim.Table3()
+		fmt.Printf("retcon    blocks lost %.1f (%.0f)  tracked %.1f (%.0f)  stores %.1f (%.0f)\n",
+			t3.AvgLost, t3.MaxLost, t3.AvgTracked, t3.MaxTracked, t3.AvgStores, t3.MaxStores)
+		fmt.Printf("          constraints %.1f (%.0f)  commit cycles %.1f  commit stall %.2f%%\n",
+			t3.AvgConstraints, t3.MaxConstraints, t3.AvgCommitCycles, t3.CommitStallPct)
+	}
+
+	if *speedup {
+		seqCfg := cfg
+		seqCfg.Cores = 1
+		seqCfg.Mode = retcon.ModeEager
+		seq, err := retcon.RunSeeded(w, seqCfg, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retcon-sim: sequential baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup   %.2fx over sequential (%d cycles)\n",
+			float64(seq.Cycles)/float64(res.Cycles), seq.Cycles)
+	}
+}

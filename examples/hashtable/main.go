@@ -1,0 +1,47 @@
+// Hashtable: the auxiliary-data conflict the paper opens with — "hashtable
+// size field increments on inserts of different elements". genome-sz
+// deduplicates gene segments into a shared resizable hash set whose header
+// block holds the size field, the resize threshold, and the probe mask.
+//
+// Eager HTM conflicts on the header block for every operation (even pure
+// lookups read the mask word next to the size field). Value-based
+// validation removes the false sharing but still aborts concurrent fresh
+// inserts. RETCON tracks the size field as [size]+1 with the load-factor
+// branch recorded as an interval constraint, and commits repair the final
+// size — inserts of different elements stop conflicting entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	retcon "repro"
+)
+
+func main() {
+	fmt.Println("genome vs genome-sz: the cost of a shared size field, and its repair")
+	fmt.Println()
+
+	for _, name := range []string{"genome", "genome-sz"} {
+		w, err := retcon.LookupWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		for _, mode := range []retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon} {
+			cfg := retcon.DefaultConfig()
+			cfg.Mode = mode
+			speedup, _, par, err := retcon.Speedup(w, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8v speedup %5.2fx   aborts %5d   nacks %6d\n",
+				mode, speedup, par.Sim.Totals().Aborts, par.Sim.Totals().Nacks)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("With RETCON the resizable table performs close to the fixed-size")
+	fmt.Println("table: the workload becomes 'insensitive to whether the hashtable")
+	fmt.Println("is fixed-size or resizable' (paper §5.2).")
+}

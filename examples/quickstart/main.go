@@ -1,0 +1,39 @@
+// Quickstart: run the shared-counter microbenchmark (the paper's Figure 2
+// scenario, scaled up) under the eager HTM baseline and under RETCON, and
+// print the speedups. This is the smallest end-to-end use of the public
+// API: pick a workload, configure the machine, run, inspect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	retcon "repro"
+)
+
+func main() {
+	w, err := retcon.LookupWorkload("counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, mode := range []retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon} {
+		cfg := retcon.DefaultConfig() // Table 1 machine: 32 in-order cores
+		cfg.Cores = 16                // keep the example snappy
+		cfg.Mode = mode
+
+		speedup, seq, par, err := retcon.Speedup(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tot := par.Sim.Totals()
+		fmt.Printf("%-8v  seq %7d cycles   %2d cores %7d cycles   speedup %5.2fx   commits %4d  aborts %5d\n",
+			mode, seq.Cycles, cfg.Cores, par.Cycles, speedup, tot.Commits, tot.Aborts)
+	}
+
+	fmt.Println()
+	fmt.Println("Every transaction increments one shared counter twice. Eager and")
+	fmt.Println("lazy HTM serialize on it; RETCON tracks the counter symbolically")
+	fmt.Println("([counter]+2 per transaction) and repairs the value at commit, so")
+	fmt.Println("the transactions stop conflicting entirely (Figure 2a).")
+}

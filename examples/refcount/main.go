@@ -1,0 +1,53 @@
+// Refcount: the paper's headline case study. The python_opt workload
+// models a transactionalized cpython interpreter: the GIL is elided into
+// one transaction per bytecode batch, and the only remaining shared-data
+// conflicts are reference-count updates on hot (singleton-like) objects.
+//
+// Under the eager baseline and under value-based validation (lazy-vb) the
+// interpreter does not scale: refcounts genuinely change between commits.
+// RETCON tracks them as [refcnt]±k and repairs at commit, recovering
+// near-workload-limited scaling (paper §5.2: "tranforms python_opt from a
+// workload that has no scaling ... to one that has near-linear scaling").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	retcon "repro"
+)
+
+func main() {
+	fmt.Println("python_opt: GIL-elided interpreter, refcount conflicts on hot objects")
+	fmt.Println()
+
+	for _, name := range []string{"python", "python_opt"} {
+		w, err := retcon.LookupWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		for _, mode := range []retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon} {
+			cfg := retcon.DefaultConfig()
+			cfg.Mode = mode
+			speedup, _, par, err := retcon.Speedup(w, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			line := fmt.Sprintf("  %-8v speedup %5.2fx on %d cores, aborts %5d",
+				mode, speedup, cfg.Cores, par.Sim.Totals().Aborts)
+			if mode == retcon.ModeRetCon {
+				t3 := par.Sim.Table3()
+				line += fmt.Sprintf("  (tracked %.1f blocks/tx, lost %.1f, commit stall %.1f%%)",
+					t3.AvgTracked, t3.AvgLost, t3.CommitStallPct)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The unoptimized python variant stays slow even under RETCON: its")
+	fmt.Println("shared allocation pointer feeds address computation, which symbolic")
+	fmt.Println("tracking must pin with an equality constraint — when the pointer")
+	fmt.Println("moves, the constraint fails and the transaction aborts (§5.4).")
+}

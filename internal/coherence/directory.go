@@ -1,0 +1,212 @@
+// Package coherence models the directory-based MSI protocol of Table 1:
+// per-block owner/sharer tracking with 20-cycle hop and 100-cycle DRAM
+// latencies.
+//
+// Two standard simplifications keep the model deterministic and simple
+// while preserving everything the HTM cares about:
+//
+//   - Atomic state, delayed timing: a request's directory state change is
+//     applied at issue; the requesting core then stalls for the computed
+//     latency. In-order 1-IPC cores have at most one outstanding miss, so
+//     this is equivalent to a detailed model up to contention on the
+//     interconnect (which Table 1 does not model either).
+//
+//   - Sticky presence: voluntary cache evictions do not notify the
+//     directory, so sharer sets are supersets of true presence. Stale
+//     sharers cost only an (idempotent) invalidation message; conflict
+//     detection consults the HTM's speculative-bit structures, which are
+//     exact. This also subsumes the permissions-only cache: a core's
+//     conflict-detection metadata survives data eviction, exactly as in
+//     OneTM [5].
+package coherence
+
+// State is the directory-visible MSI state of a block.
+type State uint8
+
+// Directory block states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// NoOwner marks a block with no modified owner.
+const NoOwner = -1
+
+// Entry is the directory's record for one block.
+type Entry struct {
+	State   State
+	Owner   int    // core holding M, or NoOwner
+	Sharers uint64 // bitmap over cores (superset of true presence)
+}
+
+// HasSharer reports whether core c is in the sharer set.
+func (e *Entry) HasSharer(c int) bool { return e.Sharers&(1<<uint(c)) != 0 }
+
+// Latencies are the coherence timing parameters.
+type Latencies struct {
+	Hop  int64 // per network hop (Table 1: 20)
+	DRAM int64 // memory lookup (Table 1: 100)
+	// DRAMOccupancy is how long each memory lookup occupies the (single)
+	// memory controller. Concurrent misses queue behind each other, which
+	// bounds aggregate memory bandwidth — the effect that limits scaling
+	// for workloads with poor cache behavior (ssca2 in the paper).
+	DRAMOccupancy int64
+}
+
+// Directory tracks every block ever referenced. Blocks never referenced
+// are implicitly Invalid.
+type Directory struct {
+	NumCores int
+	Lat      Latencies
+	entries  map[int64]*Entry
+
+	dramFree int64 // first cycle the memory controller is free
+	// DRAMAccesses counts memory lookups; DRAMQueue accumulates queuing
+	// delay, exposing how bandwidth-bound a run was.
+	DRAMAccesses int64
+	DRAMQueue    int64
+}
+
+// dram returns the latency of a memory lookup issued at cycle now,
+// including queuing behind earlier lookups at the memory controller.
+func (d *Directory) dram(now int64) int64 {
+	lat := d.Lat.DRAM
+	if d.Lat.DRAMOccupancy > 0 {
+		start := now
+		if d.dramFree > start {
+			start = d.dramFree
+		}
+		d.dramFree = start + d.Lat.DRAMOccupancy
+		queue := start - now
+		d.DRAMQueue += queue
+		lat += queue
+	}
+	d.DRAMAccesses++
+	return lat
+}
+
+// New creates a directory for numCores cores.
+func New(numCores int, lat Latencies) *Directory {
+	return &Directory{NumCores: numCores, Lat: lat, entries: make(map[int64]*Entry)}
+}
+
+// Entry returns the directory entry for block, creating it as Invalid.
+func (d *Directory) Entry(block int64) *Entry {
+	e := d.entries[block]
+	if e == nil {
+		e = &Entry{Owner: NoOwner}
+		d.entries[block] = e
+	}
+	return e
+}
+
+// Peek returns the entry if it exists, without creating one.
+func (d *Directory) Peek(block int64) (*Entry, bool) {
+	e, ok := d.entries[block]
+	return e, ok
+}
+
+// ReadTargets returns the core whose copy must be downgraded before core c
+// may read block (the modified owner), or NoOwner. No state is changed;
+// the caller performs conflict resolution first.
+func (d *Directory) ReadTargets(c int, block int64) int {
+	e := d.Entry(block)
+	if e.State == Modified && e.Owner != c {
+		return e.Owner
+	}
+	return NoOwner
+}
+
+// WriteTargets appends to dst the cores whose copies must be invalidated
+// before core c may write block. No state is changed.
+func (d *Directory) WriteTargets(c int, block int64, dst []int) []int {
+	e := d.Entry(block)
+	if e.State == Modified && e.Owner != c {
+		dst = append(dst, e.Owner)
+		return dst
+	}
+	for i := 0; i < d.NumCores; i++ {
+		if i != c && e.HasSharer(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// ApplyRead commits a read by core c issued at cycle now: the modified
+// owner (if any) is downgraded to sharer and c joins the sharer set. It
+// returns the request latency: two hops to/from the directory, plus either
+// an owner forward (one hop) or a DRAM lookup when no cached copy can
+// supply data.
+func (d *Directory) ApplyRead(c int, block int64, now int64) int64 {
+	e := d.Entry(block)
+	lat := 2 * d.Lat.Hop
+	switch {
+	case e.State == Modified && e.Owner != c:
+		lat += d.Lat.Hop // owner forwards data
+		e.Sharers |= 1 << uint(e.Owner)
+		e.Owner = NoOwner
+		e.State = Shared
+	case e.State == Modified && e.Owner == c:
+		// Re-fetch after self-eviction; data comes from memory (the dirty
+		// line was written back architecturally the whole time).
+		lat += d.dram(now)
+	case e.State == Shared:
+		lat += d.dram(now) // memory supplies data (no cache-to-cache for S)
+	default:
+		lat += d.dram(now)
+		e.State = Shared
+	}
+	e.Sharers |= 1 << uint(c)
+	if e.State == Invalid {
+		e.State = Shared
+	}
+	return lat
+}
+
+// ApplyWrite commits a write by core c: all other copies are invalidated
+// and c becomes the modified owner. Invalidations are sent in parallel, so
+// the added cost is a single hop when any invalidation (or owner transfer)
+// is required, plus DRAM when no cached copy supplies the data.
+func (d *Directory) ApplyWrite(c int, block int64, now int64) int64 {
+	e := d.Entry(block)
+	lat := 2 * d.Lat.Hop
+	hadCopies := false
+	if e.State == Modified && e.Owner != c {
+		hadCopies = true
+	}
+	if e.Sharers&^(1<<uint(c)) != 0 {
+		hadCopies = true
+	}
+	if hadCopies {
+		lat += d.Lat.Hop // parallel invalidations + ack
+	}
+	ownCopy := e.HasSharer(c) || (e.State == Modified && e.Owner == c)
+	if !hadCopies && !ownCopy {
+		lat += d.dram(now)
+	}
+	e.State = Modified
+	e.Owner = c
+	e.Sharers = 1 << uint(c)
+	return lat
+}
+
+// Drop removes core c from the block's metadata (used when a transaction
+// releases a symbolically tracked block, and by tests). Losing M ownership
+// reverts the block to Shared among the remaining sharers.
+func (d *Directory) Drop(c int, block int64) {
+	e, ok := d.entries[block]
+	if !ok {
+		return
+	}
+	e.Sharers &^= 1 << uint(c)
+	if e.State == Modified && e.Owner == c {
+		e.Owner = NoOwner
+		if e.Sharers == 0 {
+			e.State = Invalid
+		} else {
+			e.State = Shared
+		}
+	}
+}

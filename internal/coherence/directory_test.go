@@ -1,0 +1,118 @@
+package coherence
+
+import "testing"
+
+func lat() Latencies { return Latencies{Hop: 20, DRAM: 100} }
+
+func TestColdReadGoesToDRAM(t *testing.T) {
+	d := New(4, lat())
+	if got := d.ReadTargets(0, 5); got != NoOwner {
+		t.Fatal("cold block has no owner to downgrade")
+	}
+	l := d.ApplyRead(0, 5, 0)
+	if l != 2*20+100 {
+		t.Errorf("cold read latency = %d, want 140", l)
+	}
+	e := d.Entry(5)
+	if e.State != Shared || !e.HasSharer(0) {
+		t.Errorf("entry after read: %+v", e)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := New(4, lat())
+	d.ApplyRead(0, 5, 0)
+	d.ApplyRead(1, 5, 0)
+	targets := d.WriteTargets(2, 5, nil)
+	if len(targets) != 2 {
+		t.Fatalf("write targets = %v, want cores 0 and 1", targets)
+	}
+	l := d.ApplyWrite(2, 5, 0)
+	if l != 2*20+20 { // dir roundtrip + parallel invalidations; data from... sharers invalidated, no DRAM since copies existed
+		t.Errorf("write latency = %d, want 60", l)
+	}
+	e := d.Entry(5)
+	if e.State != Modified || e.Owner != 2 || e.Sharers != 1<<2 {
+		t.Errorf("entry after write: %+v", e)
+	}
+}
+
+func TestReadDowngradesOwner(t *testing.T) {
+	d := New(4, lat())
+	d.ApplyWrite(1, 7, 0)
+	if got := d.ReadTargets(0, 7); got != 1 {
+		t.Fatalf("read target = %d, want owner 1", got)
+	}
+	l := d.ApplyRead(0, 7, 0)
+	if l != 2*20+20 { // owner forward
+		t.Errorf("forwarded read latency = %d, want 60", l)
+	}
+	e := d.Entry(7)
+	if e.State != Shared || e.Owner != NoOwner || !e.HasSharer(0) || !e.HasSharer(1) {
+		t.Errorf("entry after downgrade: %+v", e)
+	}
+}
+
+func TestSilentUpgradeLatency(t *testing.T) {
+	d := New(4, lat())
+	d.ApplyRead(0, 9, 0)
+	// Sole sharer upgrading: no invalidations, no DRAM.
+	l := d.ApplyWrite(0, 9, 0)
+	if l != 2*20 {
+		t.Errorf("upgrade latency = %d, want 40", l)
+	}
+}
+
+func TestOwnWriteHit(t *testing.T) {
+	d := New(4, lat())
+	d.ApplyWrite(0, 9, 0)
+	if targets := d.WriteTargets(0, 9, nil); len(targets) != 0 {
+		t.Errorf("owner re-write has no targets, got %v", targets)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	d := New(4, lat())
+	d.ApplyWrite(3, 11, 0)
+	d.Drop(3, 11)
+	e := d.Entry(11)
+	if e.State != Invalid || e.Owner != NoOwner || e.Sharers != 0 {
+		t.Errorf("entry after drop: %+v", e)
+	}
+	d.Drop(3, 999) // unknown block is a no-op
+}
+
+func TestDRAMQueuing(t *testing.T) {
+	l := lat()
+	l.DRAMOccupancy = 16
+	d := New(4, l)
+	// Two cold reads of different blocks at the same cycle: the second
+	// queues behind the first at the memory controller.
+	l1 := d.ApplyRead(0, 1, 100)
+	l2 := d.ApplyRead(1, 2, 100)
+	if l2 <= l1 {
+		t.Errorf("queued access must be slower: %d then %d", l1, l2)
+	}
+	if l2-l1 != 16 {
+		t.Errorf("queue delay = %d, want one occupancy slot (16)", l2-l1)
+	}
+	if d.DRAMAccesses != 2 || d.DRAMQueue != 16 {
+		t.Errorf("stats: accesses=%d queue=%d", d.DRAMAccesses, d.DRAMQueue)
+	}
+	// A later access after the controller drains sees no queueing.
+	l3 := d.ApplyRead(2, 3, 1000)
+	if l3 != l1 {
+		t.Errorf("drained access latency = %d, want %d", l3, l1)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	d := New(4, lat())
+	if _, ok := d.Peek(42); ok {
+		t.Error("Peek must not create entries")
+	}
+	d.ApplyRead(0, 42, 0)
+	if _, ok := d.Peek(42); !ok {
+		t.Error("Peek must find existing entries")
+	}
+}

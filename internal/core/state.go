@@ -1,0 +1,247 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// IVBEntry is one Initial Value Buffer entry, maintained at cache-block
+// granularity (§4.4): the concrete values of the block's eight words at the
+// time symbolic tracking began, plus loss and written-intent metadata.
+type IVBEntry struct {
+	Block   int64
+	Words   [mem.WordsPerBlock]int64
+	Lost    bool // block was stolen by a remote writer during the transaction
+	Written bool // some SSB entry targets this block (pre-commit upgrade optimization)
+}
+
+// Word returns the recorded value of the word at the given word address.
+func (e *IVBEntry) Word(wordAddr int64) int64 {
+	return e.Words[(wordAddr>>3)&(mem.WordsPerBlock-1)]
+}
+
+// SetWord updates the recorded value of the word at the given word address.
+func (e *IVBEntry) SetWord(wordAddr int64, v int64) {
+	e.Words[(wordAddr>>3)&(mem.WordsPerBlock-1)] = v
+}
+
+// SSBEntry is one Symbolic Store Buffer entry, maintained at word
+// granularity: the concrete value of the full word and, if the stored data
+// was symbolic, its symbolic value.
+type SSBEntry struct {
+	WordAddr int64
+	Val      int64
+	Sym      SymVal // !Valid => concrete store
+}
+
+// Config sizes the RETCON structures (Table 1: 16-entry initial value
+// buffer, 16-entry constraint buffer, 32-entry symbolic store buffer).
+type Config struct {
+	IVBEntries        int
+	ConstraintEntries int
+	SSBEntries        int
+	// Lazy selects the paper's lazy-vb ablation: blocks are tracked with
+	// value-based (equality) validation only; no symbolic arithmetic is
+	// propagated, so commits succeed only if every tracked value is
+	// unchanged.
+	Lazy bool
+}
+
+// DefaultConfig returns the Table 1 structure sizes.
+func DefaultConfig() Config {
+	return Config{IVBEntries: 16, ConstraintEntries: 16, SSBEntries: 32}
+}
+
+// TxStats are the per-transaction utilization numbers reported in Table 3.
+type TxStats struct {
+	BlocksLost      int
+	BlocksTracked   int
+	SymRegsRepaired int
+	PrivateStores   int
+	ConstraintAddrs int
+	CommitCycles    int64
+}
+
+// State is one core's RETCON state for the currently executing transaction.
+type State struct {
+	Cfg Config
+
+	IVB         map[int64]*IVBEntry // keyed by block number
+	SSB         map[int64]*SSBEntry // keyed by word address
+	Constraints map[int64]Interval  // keyed by root word address
+	Regs        [isa.NumRegs]SymVal
+}
+
+// NewState creates RETCON state with the given configuration.
+func NewState(cfg Config) *State {
+	return &State{
+		Cfg:         cfg,
+		IVB:         make(map[int64]*IVBEntry),
+		SSB:         make(map[int64]*SSBEntry),
+		Constraints: make(map[int64]Interval),
+	}
+}
+
+// Reset clears all symbolic state (transaction commit or abort).
+func (s *State) Reset() {
+	for k := range s.IVB {
+		delete(s.IVB, k)
+	}
+	for k := range s.SSB {
+		delete(s.SSB, k)
+	}
+	for k := range s.Constraints {
+		delete(s.Constraints, k)
+	}
+	s.Regs = [isa.NumRegs]SymVal{}
+}
+
+// Empty reports whether no symbolic state is held.
+func (s *State) Empty() bool {
+	return len(s.IVB) == 0 && len(s.SSB) == 0 && len(s.Constraints) == 0
+}
+
+// Track begins symbolic tracking of the block containing addr, snapshotting
+// its current words from the image. It reports false when the IVB is full.
+func (s *State) Track(block int64, img *mem.Image) (*IVBEntry, bool) {
+	if e, ok := s.IVB[block]; ok {
+		return e, true
+	}
+	if len(s.IVB) >= s.Cfg.IVBEntries {
+		return nil, false
+	}
+	e := &IVBEntry{Block: block}
+	img.ReadBlockWords(block<<mem.BlockShift, &e.Words)
+	s.IVB[block] = e
+	return e, true
+}
+
+// Tracked returns the IVB entry for the block containing the byte address,
+// or nil.
+func (s *State) Tracked(block int64) *IVBEntry { return s.IVB[block] }
+
+// MarkLost records that a tracked block was stolen by a remote writer.
+// It reports whether the block was tracked.
+func (s *State) MarkLost(block int64) bool {
+	e, ok := s.IVB[block]
+	if !ok {
+		return false
+	}
+	e.Lost = true
+	return true
+}
+
+// Constrain intersects a new constraint on the root word. It reports false
+// when the constraint buffer is full and the word has no existing entry
+// (the caller must abort: RETCON cannot guarantee control-flow validity
+// without the constraint).
+func (s *State) Constrain(wordAddr int64, iv Interval) bool {
+	if iv.IsFull() {
+		return true
+	}
+	if cur, ok := s.Constraints[wordAddr]; ok {
+		s.Constraints[wordAddr] = cur.Intersect(iv)
+		return true
+	}
+	if len(s.Constraints) >= s.Cfg.ConstraintEntries {
+		return false
+	}
+	s.Constraints[wordAddr] = iv
+	return true
+}
+
+// ConstrainEqualInitial sets an equality constraint pinning the root word
+// to the value first read by the transaction (§4.2: used whenever a
+// symbolic input feeds computation that cannot be tracked symbolically).
+// It reports false when the constraint buffer is full.
+func (s *State) ConstrainEqualInitial(wordAddr int64) bool {
+	e := s.IVB[mem.BlockOf(wordAddr)]
+	if e == nil {
+		// The root of a symbolic value is always tracked; a missing entry
+		// means the word was never symbolic, so there is nothing to pin.
+		return true
+	}
+	return s.Constrain(wordAddr, Point(e.Word(wordAddr)))
+}
+
+// PinSym pins a symbolic value's root to its initial value, used when the
+// value flows somewhere untrackable. Reports false on constraint overflow.
+func (s *State) PinSym(v SymVal) bool {
+	if !v.Valid {
+		return true
+	}
+	return s.ConstrainEqualInitial(v.Root)
+}
+
+// PutStore records a store into the SSB. The caller has already merged
+// sub-word data into a full word. Reports false when the SSB is full.
+func (s *State) PutStore(wordAddr int64, val int64, sym SymVal) bool {
+	if e, ok := s.SSB[wordAddr]; ok {
+		e.Val = val
+		e.Sym = sym
+		return true
+	}
+	if len(s.SSB) >= s.Cfg.SSBEntries {
+		return false
+	}
+	s.SSB[wordAddr] = &SSBEntry{WordAddr: wordAddr, Val: val, Sym: sym}
+	if ivb := s.IVB[mem.BlockOf(wordAddr)]; ivb != nil {
+		ivb.Written = true
+	}
+	return true
+}
+
+// Store returns the SSB entry for the word address, or nil.
+func (s *State) Store(wordAddr int64) *SSBEntry { return s.SSB[wordAddr] }
+
+// RootVal returns the current recorded value of a symbolic root word.
+func (s *State) RootVal(root int64) int64 {
+	e := s.IVB[mem.BlockOf(root)]
+	if e == nil {
+		panic("core: symbolic root is not tracked in the IVB")
+	}
+	return e.Word(root)
+}
+
+// EvalSym evaluates a symbolic value against the recorded root values.
+func (s *State) EvalSym(v SymVal) int64 {
+	if !v.Valid {
+		panic("core: evaluating invalid symbolic value")
+	}
+	return v.Eval(s.RootVal(v.Root))
+}
+
+// CheckConstraints validates every constraint against the recorded root
+// values (which the pre-commit process has refreshed to final values).
+// It returns the first violated root word address, or -1 if all hold.
+func (s *State) CheckConstraints() int64 {
+	for word, iv := range s.Constraints {
+		if !iv.Contains(s.RootVal(word)) {
+			return word
+		}
+	}
+	return -1
+}
+
+// Stats summarizes the transaction's structure utilization (Table 3
+// columns; CommitCycles is filled in by the simulator).
+func (s *State) Stats() TxStats {
+	st := TxStats{
+		BlocksTracked:   len(s.IVB),
+		PrivateStores:   len(s.SSB),
+		ConstraintAddrs: len(s.Constraints),
+	}
+	for _, e := range s.IVB {
+		if e.Lost {
+			st.BlocksLost++
+		}
+	}
+	for _, r := range s.Regs {
+		if r.Valid {
+			if e := s.IVB[mem.BlockOf(r.Root)]; e != nil && e.Lost {
+				st.SymRegsRepaired++
+			}
+		}
+	}
+	return st
+}

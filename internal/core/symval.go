@@ -1,0 +1,199 @@
+// Package core implements RETCON's symbolic tracking machinery (Blundell
+// et al. §4): symbolic values represented as (root address, sign,
+// increment) triples, interval constraints derived from branches, the
+// Initial Value Buffer, the Symbolic Store Buffer, the symbolic register
+// file, and the pre-commit repair algorithm's bookkeeping.
+//
+// The representation follows the paper's §4.4 optimizations: only
+// additions and subtractions are tracked, so a symbolic value is always
+// sym = Sign*[Root] + Inc, and any set of branch constraints collapses to
+// one closed interval per root word ("any number of constraints with
+// (<=,<,=,>,>=) can be represented precisely by the most restrictive
+// interval bounding the symbolic value"; "not-equal-to" constraints fold
+// into the half-line containing the current value, with the paper's
+// acknowledged loss of precision).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// SymVal is a symbolic register or store value: Sign*[Root] + Inc, where
+// Root is an 8-byte-aligned word address whose block is tracked in the
+// Initial Value Buffer. The zero value is "no symbolic information".
+type SymVal struct {
+	Valid bool
+	Root  int64 // word address of the symbolic input
+	Sign  int8  // +1 or -1
+	Inc   int64
+}
+
+// Sym constructs a symbolic value rooted at the given word address.
+func Sym(root int64) SymVal { return SymVal{Valid: true, Root: root, Sign: 1} }
+
+// Eval computes the concrete value given the (final) value of the root.
+func (s SymVal) Eval(rootVal int64) int64 {
+	if s.Sign < 0 {
+		return s.Inc - rootVal
+	}
+	return rootVal + s.Inc
+}
+
+// AddConst returns the symbolic value shifted by a constant.
+func (s SymVal) AddConst(c int64) SymVal { s.Inc += c; return s }
+
+// Negate returns -s as a symbolic value (used by reverse subtraction).
+func (s SymVal) Negate() SymVal {
+	s.Sign = -s.Sign
+	s.Inc = -s.Inc
+	return s
+}
+
+// String renders the symbolic value for traces and tests.
+func (s SymVal) String() string {
+	if !s.Valid {
+		return "-"
+	}
+	sign := ""
+	if s.Sign < 0 {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s[%#x]%+d", sign, s.Root, s.Inc)
+}
+
+// Interval is a closed interval constraint [Lo, Hi] on a root word's value
+// at commit time.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Full returns the unconstrained interval.
+func Full() Interval { return Interval{Lo: math.MinInt64, Hi: math.MaxInt64} }
+
+// Point returns the degenerate interval {v}, i.e. an equality constraint.
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Contains reports whether v satisfies the constraint.
+func (iv Interval) Contains(v int64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Empty reports whether no value satisfies the constraint.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Intersect returns the most restrictive interval implied by both.
+func (iv Interval) Intersect(o Interval) Interval {
+	if o.Lo > iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi < iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// IsFull reports whether the interval constrains nothing.
+func (iv Interval) IsFull() bool { return iv.Lo == math.MinInt64 && iv.Hi == math.MaxInt64 }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// Saturating arithmetic for interval endpoints.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt64
+	}
+	if b < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+func satSub(a, b int64) int64 {
+	s := a - b
+	if b < 0 && s < a {
+		return math.MaxInt64
+	}
+	if b > 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+// BranchConstraint derives the interval constraint on sym's root implied by
+// the observed outcome of a branch "sym OP rhs" (signed comparison against
+// the concrete value rhs). curRoot is the concrete (possibly stale) value
+// of the root during execution, needed to fold not-equal constraints onto
+// a half-line. taken reports whether the branch was taken; the constraint
+// for a non-taken branch is the negated condition.
+func BranchConstraint(sym SymVal, op isa.Op, rhs int64, taken bool, curRoot int64) Interval {
+	if !taken {
+		op = negateBranch(op)
+	}
+	// Normalize to a condition on the root r: sym = Sign*r + Inc.
+	// Sign=+1: r OP' (rhs - Inc).   Sign=-1: (Inc - r) OP rhs  =>  r OP'' (Inc - rhs)
+	// where for Sign=-1 the comparison direction flips.
+	var bound int64
+	if sym.Sign >= 0 {
+		bound = satSub(rhs, sym.Inc)
+	} else {
+		bound = satSub(sym.Inc, rhs)
+		op = MirrorBranch(op)
+	}
+	switch op {
+	case isa.Beq:
+		return Point(bound)
+	case isa.Bne:
+		// Fold to the half-line containing the current root value.
+		if curRoot < bound {
+			return Interval{Lo: math.MinInt64, Hi: satSub(bound, 1)}
+		}
+		return Interval{Lo: satAdd(bound, 1), Hi: math.MaxInt64}
+	case isa.Blt:
+		return Interval{Lo: math.MinInt64, Hi: satSub(bound, 1)}
+	case isa.Ble:
+		return Interval{Lo: math.MinInt64, Hi: bound}
+	case isa.Bgt:
+		return Interval{Lo: satAdd(bound, 1), Hi: math.MaxInt64}
+	case isa.Bge:
+		return Interval{Lo: bound, Hi: math.MaxInt64}
+	}
+	panic(fmt.Sprintf("core: not a branch op: %v", op))
+}
+
+// negateBranch returns the opcode for the negated condition.
+func negateBranch(op isa.Op) isa.Op {
+	switch op {
+	case isa.Beq:
+		return isa.Bne
+	case isa.Bne:
+		return isa.Beq
+	case isa.Blt:
+		return isa.Bge
+	case isa.Bge:
+		return isa.Blt
+	case isa.Ble:
+		return isa.Bgt
+	case isa.Bgt:
+		return isa.Ble
+	}
+	panic(fmt.Sprintf("core: not a branch op: %v", op))
+}
+
+// MirrorBranch returns the opcode with operands swapped (a OP b == b OP' a).
+func MirrorBranch(op isa.Op) isa.Op {
+	switch op {
+	case isa.Beq, isa.Bne:
+		return op
+	case isa.Blt:
+		return isa.Bgt
+	case isa.Bgt:
+		return isa.Blt
+	case isa.Ble:
+		return isa.Bge
+	case isa.Bge:
+		return isa.Ble
+	}
+	panic(fmt.Sprintf("core: not a branch op: %v", op))
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestSymValEval(t *testing.T) {
+	s := Sym(0x100)
+	if got := s.Eval(5); got != 5 {
+		t.Errorf("fresh sym Eval(5) = %d, want 5", got)
+	}
+	s = s.AddConst(3)
+	if got := s.Eval(5); got != 8 {
+		t.Errorf("[A]+3 Eval(5) = %d, want 8", got)
+	}
+	n := s.Negate() // -( [A]+3 ) = -[A]-3
+	if got := n.Eval(5); got != -8 {
+		t.Errorf("negated Eval(5) = %d, want -8", got)
+	}
+	n = n.AddConst(10) // -[A]+7
+	if got := n.Eval(5); got != 2 {
+		t.Errorf("-[A]+7 Eval(5) = %d, want 2", got)
+	}
+}
+
+// TestSymValAlgebra checks Eval respects the algebra for arbitrary values.
+func TestSymValAlgebra(t *testing.T) {
+	f := func(root, c1, c2 int16, neg bool) bool {
+		s := Sym(0x40)
+		s = s.AddConst(int64(c1))
+		if neg {
+			s = s.Negate()
+		}
+		s = s.AddConst(int64(c2))
+		want := int64(root) + int64(c1)
+		if neg {
+			want = -want
+		}
+		want += int64(c2)
+		return s.Eval(int64(root)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	full := Full()
+	if !full.Contains(math.MinInt64) || !full.Contains(math.MaxInt64) || !full.IsFull() {
+		t.Error("Full() must contain everything")
+	}
+	p := Point(7)
+	if !p.Contains(7) || p.Contains(6) || p.Contains(8) {
+		t.Error("Point(7) must contain exactly 7")
+	}
+	got := Interval{Lo: 0, Hi: 10}.Intersect(Interval{Lo: 5, Hi: 20})
+	if got.Lo != 5 || got.Hi != 10 {
+		t.Errorf("intersect = %v, want [5,10]", got)
+	}
+	if !(Interval{Lo: 3, Hi: 2}).Empty() {
+		t.Error("inverted interval must be empty")
+	}
+}
+
+func evalBranch(op isa.Op, a, b int64) bool {
+	switch op {
+	case isa.Beq:
+		return a == b
+	case isa.Bne:
+		return a != b
+	case isa.Blt:
+		return a < b
+	case isa.Bge:
+		return a >= b
+	case isa.Ble:
+		return a <= b
+	case isa.Bgt:
+		return a > b
+	}
+	panic("not a branch")
+}
+
+var branchOps = []isa.Op{isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Ble, isa.Bgt}
+
+// TestBranchConstraintSound checks the central soundness property of
+// RETCON's control-flow constraints: for any symbolic value, branch and
+// observed outcome, (a) the root value observed during execution satisfies
+// the recorded constraint, and (b) every root value satisfying the
+// constraint reproduces the same branch outcome, so repair never changes
+// control flow.
+func TestBranchConstraintSound(t *testing.T) {
+	f := func(rootRaw, incRaw, rhsRaw int16, neg bool) bool {
+		root := int64(rootRaw)
+		inc := int64(incRaw)
+		sym := Sym(0x80).AddConst(inc)
+		if neg {
+			sym = sym.Negate()
+		}
+		rhs := int64(rhsRaw)
+		for _, op := range branchOps {
+			taken := evalBranch(op, sym.Eval(root), rhs)
+			iv := BranchConstraint(sym, op, rhs, taken, root)
+			if !iv.Contains(root) {
+				return false // the observed root must satisfy its own constraint
+			}
+			// Soundness over a window around the interesting region.
+			for v := int64(-600); v <= 600; v++ {
+				if iv.Contains(v) && evalBranch(op, sym.Eval(v), rhs) != taken {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBranchConstraintPrecision checks that inequality constraints are
+// exact (not merely conservative): every value with the same outcome is
+// admitted.
+func TestBranchConstraintPrecision(t *testing.T) {
+	// Beq is excluded: its non-taken form is a not-equal constraint, which
+	// is deliberately imprecise (tested separately below). A taken equality
+	// is exact and covered by the soundness property test.
+	ops := []isa.Op{isa.Blt, isa.Bge, isa.Ble, isa.Bgt}
+	for _, op := range ops {
+		sym := Sym(0x80).AddConst(3)
+		root, rhs := int64(10), int64(20)
+		taken := evalBranch(op, sym.Eval(root), rhs)
+		iv := BranchConstraint(sym, op, rhs, taken, root)
+		for v := int64(-200); v <= 200; v++ {
+			if evalBranch(op, sym.Eval(v), rhs) == taken && !iv.Contains(v) {
+				t.Errorf("%v: value %d has same outcome but is excluded by %v", op, v, iv)
+				break
+			}
+		}
+	}
+}
+
+// TestBranchConstraintNotEqualFold checks the documented precision loss:
+// a != constraint folds to the half-line containing the current value.
+func TestBranchConstraintNotEqualFold(t *testing.T) {
+	sym := Sym(0x80) // [A]+0
+	iv := BranchConstraint(sym, isa.Bne, 50, true, 10)
+	if !iv.Contains(10) || iv.Contains(50) || iv.Contains(60) {
+		t.Errorf("!=50 with cur=10 should admit 10, exclude >=50: got %v", iv)
+	}
+	iv = BranchConstraint(sym, isa.Bne, 50, true, 90)
+	if !iv.Contains(90) || iv.Contains(50) || iv.Contains(40) {
+		t.Errorf("!=50 with cur=90 should admit 90, exclude <=50: got %v", iv)
+	}
+}
+
+func TestMirrorNegate(t *testing.T) {
+	for _, op := range branchOps {
+		m := MirrorBranch(op)
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-2); b <= 2; b++ {
+				if evalBranch(op, a, b) != evalBranch(m, b, a) {
+					t.Errorf("mirror of %v broken at (%d,%d)", op, a, b)
+				}
+			}
+		}
+		n := negateBranch(op)
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-2); b <= 2; b++ {
+				if evalBranch(op, a, b) == evalBranch(n, a, b) {
+					t.Errorf("negate of %v broken at (%d,%d)", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if satAdd(math.MaxInt64, 1) != math.MaxInt64 {
+		t.Error("satAdd must saturate high")
+	}
+	if satAdd(math.MinInt64, -1) != math.MinInt64 {
+		t.Error("satAdd must saturate low")
+	}
+	if satSub(math.MinInt64, 1) != math.MinInt64 {
+		t.Error("satSub must saturate low")
+	}
+	if satSub(math.MaxInt64, -1) != math.MaxInt64 {
+		t.Error("satSub must saturate high")
+	}
+	if satAdd(3, 4) != 7 || satSub(3, 4) != -1 {
+		t.Error("saturating ops must be exact in range")
+	}
+}
+
+func TestSymValString(t *testing.T) {
+	if (SymVal{}).String() != "-" {
+		t.Error("invalid sym should render as -")
+	}
+	s := Sym(0x40).AddConst(2)
+	if s.String() != "[0x40]+2" {
+		t.Errorf("got %q", s.String())
+	}
+}

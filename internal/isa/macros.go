@@ -1,0 +1,41 @@
+package isa
+
+// Macro helpers: multi-instruction idioms used by most workload kernels.
+// They expand inline (the ISA has no call instruction) and clobber only the
+// registers passed to them.
+
+// XorShift emits the xorshift64 step on the state register and leaves the
+// new state in both state and rd. The state must be initialized nonzero.
+//
+//	s ^= s << 13; s ^= s >> 7; s ^= s << 17; rd = s
+func (b *Builder) XorShift(rd, state, tmp Reg) {
+	b.Shli(tmp, state, 13)
+	b.Xor(state, state, tmp)
+	b.Shri(tmp, state, 7)
+	b.Xor(state, state, tmp)
+	b.Shli(tmp, state, 17)
+	b.Xor(state, state, tmp)
+	b.Mov(rd, state)
+}
+
+// fibMul is the 64-bit golden-ratio multiplier used for multiplicative
+// hashing (Fibonacci hashing).
+const fibMul = -7046029254386353131 // 0x9E3779B97F4A7C15 as int64
+
+// HashMix emits rd = (key * fibMul) >> (64 - bits), a multiplicative hash
+// producing a value in [0, 2^bits).
+func (b *Builder) HashMix(rd, key Reg, bits int64) {
+	b.Muli(rd, key, fibMul)
+	b.Shri(rd, rd, 64-bits)
+}
+
+// BusyLoop emits a delay loop that executes roughly 2*count+2 instructions,
+// using ctr as a scratch counter. It models private computation (parsing,
+// string processing, routing) that occupies the core without touching
+// shared memory.
+func (b *Builder) BusyLoop(ctr Reg, count int64, label string) {
+	b.Li(ctr, count)
+	b.Label(label)
+	b.Addi(ctr, ctr, -1)
+	b.Bgt(ctr, Zero, label)
+}

@@ -1,0 +1,129 @@
+// Package mem provides the flat simulated physical memory image, a simple
+// bump allocator for laying out workload data, and the cache-block geometry
+// constants shared by the memory system.
+//
+// The image holds the *architectural* value of every byte at all times;
+// caches in this simulator are timing-only. Transactional isolation is
+// enforced by the conflict-detection layer (no other core is permitted to
+// read a speculatively written block), and rollback restores bytes from the
+// transaction's undo log.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cache-block geometry (Table 1: 64-byte blocks).
+const (
+	BlockShift    = 6
+	BlockSize     = 1 << BlockShift
+	WordSize      = 8
+	WordsPerBlock = BlockSize / WordSize
+)
+
+// BlockOf returns the block number containing the byte address.
+func BlockOf(addr int64) int64 { return addr >> BlockShift }
+
+// BlockBase returns the first byte address of the block containing addr.
+func BlockBase(addr int64) int64 { return addr &^ (BlockSize - 1) }
+
+// WordAddr returns the 8-byte-aligned word address containing addr.
+func WordAddr(addr int64) int64 { return addr &^ (WordSize - 1) }
+
+// Image is a flat byte-addressable memory with a bump allocator.
+type Image struct {
+	data []byte
+	brk  int64
+}
+
+// NewImage creates a memory image of the given size in bytes. The first
+// block is reserved so that address 0 is never a valid allocation (workloads
+// use 0 as a null/empty sentinel).
+func NewImage(size int64) *Image {
+	if size < 2*BlockSize {
+		size = 2 * BlockSize
+	}
+	return &Image{data: make([]byte, size), brk: BlockSize}
+}
+
+// Size returns the total size of the image in bytes.
+func (m *Image) Size() int64 { return int64(len(m.data)) }
+
+// Alloc reserves n bytes aligned to align (a power of two, at least 1) and
+// returns the base address. It panics when the image is exhausted; workload
+// layout is computed at build time, so exhaustion is a configuration bug.
+func (m *Image) Alloc(n, align int64) int64 {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: bad alignment %d", align))
+	}
+	base := (m.brk + align - 1) &^ (align - 1)
+	if base+n > int64(len(m.data)) {
+		panic(fmt.Sprintf("mem: out of memory: need %d bytes at %d, image size %d", n, base, len(m.data)))
+	}
+	m.brk = base + n
+	return base
+}
+
+// AllocBlocks reserves n bytes aligned to a cache block. Workloads use this
+// for shared structures so that distinct structures never share a block
+// unless the workload wants false sharing.
+func (m *Image) AllocBlocks(n int64) int64 { return m.Alloc(n, BlockSize) }
+
+func (m *Image) check(addr int64, size uint8) {
+	if addr < 0 || addr+int64(size) > int64(len(m.data)) {
+		panic(fmt.Sprintf("mem: access [%d,+%d) out of range (size %d)", addr, size, len(m.data)))
+	}
+}
+
+// ReadInt reads size bytes (1, 2, 4 or 8) at addr, little-endian. Sub-word
+// reads zero-extend.
+func (m *Image) ReadInt(addr int64, size uint8) int64 {
+	m.check(addr, size)
+	switch size {
+	case 1:
+		return int64(m.data[addr])
+	case 2:
+		return int64(binary.LittleEndian.Uint16(m.data[addr:]))
+	case 4:
+		return int64(binary.LittleEndian.Uint32(m.data[addr:]))
+	case 8:
+		return int64(binary.LittleEndian.Uint64(m.data[addr:]))
+	}
+	panic(fmt.Sprintf("mem: bad read size %d", size))
+}
+
+// WriteInt writes the low size bytes of v at addr, little-endian.
+func (m *Image) WriteInt(addr int64, size uint8, v int64) {
+	m.check(addr, size)
+	switch size {
+	case 1:
+		m.data[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[addr:], uint64(v))
+	default:
+		panic(fmt.Sprintf("mem: bad write size %d", size))
+	}
+}
+
+// Read64 reads the 8-byte word at addr.
+func (m *Image) Read64(addr int64) int64 { return m.ReadInt(addr, 8) }
+
+// Write64 writes the 8-byte word at addr.
+func (m *Image) Write64(addr int64, v int64) { m.WriteInt(addr, 8, v) }
+
+// ReadBlockWords copies the 8 words of the block containing addr into dst.
+func (m *Image) ReadBlockWords(addr int64, dst *[WordsPerBlock]int64) {
+	base := BlockBase(addr)
+	m.check(base, BlockSize)
+	for i := 0; i < WordsPerBlock; i++ {
+		dst[i] = int64(binary.LittleEndian.Uint64(m.data[base+int64(i*WordSize):]))
+	}
+}

@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockGeometry(t *testing.T) {
+	if BlockSize != 64 || WordsPerBlock != 8 {
+		t.Fatal("Table 1 geometry changed")
+	}
+	if BlockOf(0) != 0 || BlockOf(63) != 0 || BlockOf(64) != 1 {
+		t.Error("BlockOf broken")
+	}
+	if BlockBase(130) != 128 || WordAddr(13) != 8 {
+		t.Error("BlockBase/WordAddr broken")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := NewImage(1 << 16)
+	a := m.Alloc(10, 8)
+	if a%8 != 0 {
+		t.Errorf("Alloc returned unaligned %d", a)
+	}
+	b := m.AllocBlocks(100)
+	if b%BlockSize != 0 {
+		t.Errorf("AllocBlocks returned unaligned %d", b)
+	}
+	if b <= a {
+		t.Error("allocations must not overlap")
+	}
+	if a == 0 || b == 0 {
+		t.Error("address 0 must never be allocated (null sentinel)")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := NewImage(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted image must panic")
+		}
+	}()
+	m.Alloc(1<<20, 8)
+}
+
+func TestAllocBadAlign(t *testing.T) {
+	m := NewImage(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment must panic")
+		}
+	}()
+	m.Alloc(8, 3)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := NewImage(1 << 12)
+	f := func(off uint8, v int64) bool {
+		addr := int64(BlockSize) + int64(off&^7)
+		for _, size := range []uint8{1, 2, 4, 8} {
+			m.WriteInt(addr, size, v)
+			got := m.ReadInt(addr, size)
+			var want int64
+			switch size {
+			case 1:
+				want = v & 0xFF
+			case 2:
+				want = v & 0xFFFF
+			case 4:
+				want = v & 0xFFFFFFFF
+			case 8:
+				want = v
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubWordIndependence(t *testing.T) {
+	m := NewImage(1 << 12)
+	addr := int64(BlockSize)
+	m.Write64(addr, -1)
+	m.WriteInt(addr+2, 2, 0)
+	if got := m.Read64(addr); got != -1^(0xFFFF<<16) {
+		t.Errorf("sub-word write clobbered neighbors: %#x", uint64(got))
+	}
+}
+
+func TestReadBlockWords(t *testing.T) {
+	m := NewImage(1 << 12)
+	base := m.AllocBlocks(BlockSize)
+	for i := int64(0); i < WordsPerBlock; i++ {
+		m.Write64(base+i*8, i*11)
+	}
+	var words [WordsPerBlock]int64
+	m.ReadBlockWords(base+24, &words) // any address within the block
+	for i := int64(0); i < WordsPerBlock; i++ {
+		if words[i] != i*11 {
+			t.Fatalf("word %d = %d, want %d", i, words[i], i*11)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewImage(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range read must panic")
+		}
+	}()
+	m.Read64(m.Size())
+}

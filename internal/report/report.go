@@ -1,0 +1,285 @@
+// Package report regenerates the paper's evaluation tables and figures
+// from simulator runs: Figure 1 and 3 (speedups), Figure 4 and 10
+// (execution-time breakdowns), Figure 9 (eager vs lazy-vb vs RETCON) and
+// Table 3 (RETCON structure utilization). cmd/paperbench and the root
+// bench harness both drive it.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	retcon "repro"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Harness runs and caches simulations for report generation. Runs are
+// keyed by (workload, mode, cores) so figures sharing data (e.g. Figure 9
+// includes Figure 3's eager bars) do not re-simulate.
+type Harness struct {
+	Base  retcon.Config
+	Seed  int64
+	cache map[string]*retcon.Result
+}
+
+// NewHarness creates a harness over the given base machine configuration.
+func NewHarness(base retcon.Config) *Harness {
+	return &Harness{Base: base, Seed: 1, cache: make(map[string]*retcon.Result)}
+}
+
+// Run returns the (cached) result of the workload under mode with the
+// given core count.
+func (h *Harness) Run(name string, mode retcon.Mode, cores int) (*retcon.Result, error) {
+	key := fmt.Sprintf("%s/%d/%d", name, mode, cores)
+	if r, ok := h.cache[key]; ok {
+		return r, nil
+	}
+	w, err := workloads.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := h.Base
+	cfg.Mode = mode
+	cfg.Cores = cores
+	r, err := retcon.RunSeeded(w, cfg, h.Seed)
+	if err != nil {
+		return nil, err
+	}
+	h.cache[key] = r
+	return r, nil
+}
+
+// Speedup returns the workload's speedup over one-core sequential
+// execution under the given mode at the base core count.
+func (h *Harness) Speedup(name string, mode retcon.Mode) (float64, error) {
+	seq, err := h.Run(name, retcon.ModeEager, 1)
+	if err != nil {
+		return 0, err
+	}
+	par, err := h.Run(name, mode, h.Base.Cores)
+	if err != nil {
+		return 0, err
+	}
+	return float64(seq.Cycles) / float64(par.Cycles), nil
+}
+
+// SpeedupRow is one bar of a speedup figure.
+type SpeedupRow struct {
+	Workload string
+	Mode     retcon.Mode
+	Speedup  float64
+}
+
+// Figure1 regenerates Figure 1: eager-HTM speedup of the eight unmodified
+// workloads.
+func (h *Harness) Figure1() ([]SpeedupRow, error) {
+	return h.speedups(workloads.Figure1Names(), []retcon.Mode{retcon.ModeEager})
+}
+
+// Figure3 regenerates Figure 3: eager speedups for all fourteen variants
+// (before and after the software restructurings).
+func (h *Harness) Figure3() ([]SpeedupRow, error) {
+	return h.speedups(workloads.PaperNames(), []retcon.Mode{retcon.ModeEager})
+}
+
+// Figure9 regenerates Figure 9: speedups under eager, lazy-vb and RETCON
+// for all fourteen variants.
+func (h *Harness) Figure9() ([]SpeedupRow, error) {
+	return h.speedups(workloads.PaperNames(),
+		[]retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon})
+}
+
+func (h *Harness) speedups(names []string, modes []retcon.Mode) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, name := range names {
+		for _, mode := range modes {
+			s, err := h.Speedup(name, mode)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s/%v: %w", name, mode, err)
+			}
+			rows = append(rows, SpeedupRow{Workload: name, Mode: mode, Speedup: s})
+		}
+	}
+	return rows, nil
+}
+
+// BreakdownRow is one stacked bar of Figure 4 / Figure 10.
+type BreakdownRow struct {
+	Workload string
+	Mode     retcon.Mode
+	// Fractions of attributed core-cycles per category.
+	Busy, Barrier, Conflict, Other float64
+	// Runtime normalized to the eager configuration (Figure 10's y-axis;
+	// 1.0 for Figure 4 rows).
+	NormRuntime float64
+}
+
+// Figure4 regenerates Figure 4: the execution-time breakdown of all
+// fourteen variants on the eager baseline.
+func (h *Harness) Figure4() ([]BreakdownRow, error) {
+	return h.breakdowns([]retcon.Mode{retcon.ModeEager})
+}
+
+// Figure10 regenerates Figure 10: breakdowns under all three modes,
+// normalized to eager runtime.
+func (h *Harness) Figure10() ([]BreakdownRow, error) {
+	return h.breakdowns([]retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon})
+}
+
+func (h *Harness) breakdowns(modes []retcon.Mode) ([]BreakdownRow, error) {
+	return h.breakdownsFor(workloads.PaperNames(), modes)
+}
+
+func (h *Harness) breakdownsFor(names []string, modes []retcon.Mode) ([]BreakdownRow, error) {
+	var rows []BreakdownRow
+	for _, name := range names {
+		eager, err := h.Run(name, retcon.ModeEager, h.Base.Cores)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			r, err := h.Run(name, mode, h.Base.Cores)
+			if err != nil {
+				return nil, err
+			}
+			bd := r.Sim.Breakdown()
+			norm := float64(r.Cycles) / float64(eager.Cycles)
+			rows = append(rows, BreakdownRow{
+				Workload:    name,
+				Mode:        mode,
+				Busy:        bd[sim.CatBusy],
+				Barrier:     bd[sim.CatBarrier],
+				Conflict:    bd[sim.CatConflict],
+				Other:       bd[sim.CatOther],
+				NormRuntime: norm,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table3Row is one workload's row of Table 3.
+type Table3Row struct {
+	Workload string
+	Row      sim.Table3Row
+}
+
+// Table3 regenerates Table 3: RETCON structure utilization and pre-commit
+// overhead per workload.
+func (h *Harness) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, name := range workloads.PaperNames() {
+		r, err := h.Run(name, retcon.ModeRetCon, h.Base.Cores)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{Workload: name, Row: r.Sim.Table3()})
+	}
+	return rows, nil
+}
+
+// IdealRow compares default RETCON with the idealized variant of §5.3
+// (unlimited state, parallel reacquire, free commit stores).
+type IdealRow struct {
+	Workload     string
+	Default      float64 // speedup over seq
+	Ideal        float64
+	DeltaPercent float64
+}
+
+// IdealComparison regenerates the §5.3 idealized-system validation.
+func (h *Harness) IdealComparison(names []string) ([]IdealRow, error) {
+	var rows []IdealRow
+	for _, name := range names {
+		def, err := h.Speedup(name, retcon.ModeRetCon)
+		if err != nil {
+			return nil, err
+		}
+		cfg := h.Base
+		cfg.Mode = retcon.ModeRetCon
+		cfg.IdealUnlimited = true
+		cfg.IdealParallelReacquire = true
+		cfg.IdealZeroStoreLatency = true
+		w, err := workloads.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := retcon.RunSeeded(w, cfg, h.Seed)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := h.Run(name, retcon.ModeEager, 1)
+		if err != nil {
+			return nil, err
+		}
+		idealSp := float64(seq.Cycles) / float64(ideal.Cycles)
+		rows = append(rows, IdealRow{
+			Workload:     name,
+			Default:      def,
+			Ideal:        idealSp,
+			DeltaPercent: 100 * (idealSp - def) / def,
+		})
+	}
+	return rows, nil
+}
+
+// --- formatting ---
+
+// WriteSpeedups renders speedup rows as an aligned table.
+func WriteSpeedups(w io.Writer, title string, rows []SpeedupRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-18s %-9s %9s\n", "workload", "config", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-9s %8.2fx\n", r.Workload, r.Mode.String(), r.Speedup)
+	}
+}
+
+// WriteBreakdowns renders breakdown rows as an aligned table.
+func WriteBreakdowns(w io.Writer, title string, rows []BreakdownRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-18s %-9s %8s %8s %8s %8s %8s\n",
+		"workload", "config", "norm", "busy", "barrier", "conflict", "other")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-9s %8.2f %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Workload, r.Mode.String(), r.NormRuntime,
+			100*r.Busy, 100*r.Barrier, 100*r.Conflict, 100*r.Other)
+	}
+}
+
+// WriteTable3 renders Table 3 in the paper's column layout.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: RETCON structure utilization and pre-commit overhead")
+	fmt.Fprintf(w, "%-18s %-12s %-12s %-12s %-12s %-12s %8s %7s\n",
+		"workload", "lost", "tracked", "symregs", "stores", "constr", "cycles", "stall%")
+	for _, r := range rows {
+		t := r.Row
+		fmt.Fprintf(w, "%-18s %-12s %-12s %-12s %-12s %-12s %8.1f %6.2f%%\n",
+			r.Workload,
+			avgMax(t.AvgLost, t.MaxLost), avgMax(t.AvgTracked, t.MaxTracked),
+			avgMax(t.AvgRegs, t.MaxRegs), avgMax(t.AvgStores, t.MaxStores),
+			avgMax(t.AvgConstraints, t.MaxConstraints),
+			t.AvgCommitCycles, t.CommitStallPct)
+	}
+}
+
+func avgMax(avg, max float64) string {
+	return fmt.Sprintf("%.1f (%.0f)", avg, max)
+}
+
+// WriteTable2 renders the workload descriptions.
+func WriteTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: workloads")
+	for _, wl := range workloads.All() {
+		fmt.Fprintf(w, "%-18s %s\n", wl.Name(), wl.Description())
+	}
+}
+
+// WriteIdeal renders the idealized-system comparison.
+func WriteIdeal(w io.Writer, rows []IdealRow) {
+	fmt.Fprintln(w, "Idealized RETCON (unlimited state, parallel reacquire, free stores) vs default")
+	fmt.Fprintf(w, "%-18s %10s %10s %8s\n", "workload", "default", "ideal", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %9.2fx %9.2fx %+7.1f%%\n", r.Workload, r.Default, r.Ideal, r.DeltaPercent)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// commit executes TXCOMMIT for core c. In eager mode (or when no symbolic
+// state exists) this is the baseline instantaneous commit. Otherwise it
+// runs RETCON's pre-commit repair (Figure 7):
+//
+//	Step 1: reacquire every tracked block (setting speculative read bits so
+//	        the repair is atomic), refresh the initial value buffer with
+//	        final concrete values, and validate all control-flow
+//	        constraints — a violation aborts and trains the predictor down.
+//	Step 2: drain the symbolic store buffer, evaluating symbolic store
+//	        values against the final root values and performing the writes
+//	        as ordinary speculative stores; then repair symbolic registers.
+//
+// The whole repair executes atomically within this core's simulation step;
+// its latency (serial reacquire, serial stores, per §5.1's conservative
+// assumption) stalls the core afterwards in the "other" category and is
+// recorded for Table 3.
+func (m *Machine) commit(c *Core) {
+	if !c.Ret.Empty() {
+		m.commitRepair(c)
+		return
+	}
+	// Baseline commit. Under symbolic modes, transactions that happened to
+	// track nothing still count toward the Table 3 per-transaction
+	// averages.
+	c.addCycle(CatBusy)
+	if m.P.Mode != Eager {
+		c.RetAgg.record(core.TxStats{}, m.Now-c.Tx.StartCycle+1)
+	}
+	m.finishCommit(c, 0, m.Now-c.Tx.StartCycle+1)
+}
+
+func (m *Machine) commitRepair(c *Core) {
+	stats := c.Ret.Stats() // capture Lost flags before reacquire clears them
+
+	var repairLat int64
+	var maxReacquire int64
+
+	// Step 1: reacquire tracked blocks in deterministic (address) order.
+	blocks := m.blockKeysBuf[:0]
+	for b := range c.Ret.IVB {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	m.blockKeysBuf = blocks[:0]
+
+	for _, b := range blocks {
+		e := c.Ret.IVB[b]
+		// The written-bit optimization (§4.4): reacquire with write intent
+		// when the block will also be stored to, avoiding an upgrade miss.
+		lat, st := m.memAccess(c, b, e.Written, true, false)
+		if st != accessOK {
+			return // aborted by an older conflicting transaction
+		}
+		if e.Written {
+			if !c.Tx.Spec.Mark(b, false) { // also mark read for atomicity
+				c.Stats.Overflows++
+				m.abort(c, -1)
+				return
+			}
+		}
+		repairLat += lat
+		if lat > maxReacquire {
+			maxReacquire = lat
+		}
+		m.Mem.ReadBlockWords(b<<mem.BlockShift, &e.Words)
+		e.Lost = false
+	}
+	if m.P.IdealParallelReacquire {
+		repairLat = maxReacquire
+	}
+
+	// Constraint validation against final values.
+	if w := c.Ret.CheckConstraints(); w >= 0 {
+		c.RetAgg.ConstraintViolations++
+		c.Pred.ObserveViolation(mem.BlockOf(w))
+		if m.traceEnabled() {
+			m.trace(c, "violate constraint %v on word %#x (value %d)", c.Ret.Constraints[w], w, c.Ret.RootVal(w))
+		}
+		m.abort(c, -1)
+		return
+	}
+
+	// Step 2: drain the symbolic store buffer in address order.
+	words := make([]int64, 0, len(c.Ret.SSB))
+	for w := range c.Ret.SSB {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+
+	for _, w := range words {
+		e := c.Ret.SSB[w]
+		b := mem.BlockOf(w)
+		lat, st := m.memAccess(c, b, true, true, false)
+		if st != accessOK {
+			return // aborted
+		}
+		if !m.P.IdealZeroStoreLatency {
+			repairLat += lat
+		}
+		v := e.Val
+		if e.Sym.Valid {
+			v = c.Ret.EvalSym(e.Sym)
+		}
+		c.Tx.LogStore(w, 8, m.Mem.Read64(w))
+		m.Mem.Write64(w, v)
+	}
+
+	// Repair symbolic registers with final values.
+	for r := range c.Ret.Regs {
+		if s := c.Ret.Regs[r]; s.Valid {
+			c.Regs[r] = c.Ret.EvalSym(s)
+		}
+	}
+
+	stats.CommitCycles = repairLat
+	if m.traceEnabled() {
+		m.trace(c, "repair  %d blocks (%d lost), %d stores, %d constraints, %d cycles",
+			stats.BlocksTracked, stats.BlocksLost, stats.PrivateStores, stats.ConstraintAddrs, repairLat)
+	}
+	c.addCycle(CatBusy)
+	txCycles := m.Now - c.Tx.StartCycle + 1 + repairLat
+	c.RetAgg.record(stats, txCycles)
+	m.finishCommit(c, repairLat, txCycles)
+}
+
+// finishCommit makes the transaction permanent and stalls the core for the
+// repair latency.
+func (m *Machine) finishCommit(c *Core, repairLat, txCycles int64) {
+	if m.traceEnabled() {
+		m.trace(c, "commit  ts=%d lifetime=%d cycles", c.Tx.TS, txCycles)
+	}
+	c.Tx.Commit()
+	c.Ret.Reset()
+	c.pendingTS = 0
+	c.Stats.Commits++
+	c.PC++
+	if repairLat > 0 {
+		c.setStall(m.Now+repairLat, CatOther)
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Core is one simulated in-order processor.
+type Core struct {
+	ID   int
+	Prog *isa.Program
+	PC   int
+	Regs [isa.NumRegs]int64
+
+	Hier *cache.Hierarchy
+	Tx   *htm.Tx
+	Ret  *core.State
+	Pred *htm.Predictor
+
+	pendingTS int64 // timestamp of the current transaction attempt chain
+
+	halted      bool
+	barrierWait bool
+	stallUntil  int64 // core is stalled while Now <= stallUntil
+	stallCat    Category
+
+	Stats  CoreStats
+	RetAgg RetconAgg
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	P     Params
+	Mem   *mem.Image
+	Dir   *coherence.Directory
+	Cores []*Core
+	Now   int64
+
+	tsCounter      int64
+	barrierArrived int
+	targetsBuf     []int
+	blockKeysBuf   []int64
+	traceW         io.Writer
+}
+
+// New builds a machine running the given per-core programs over the given
+// memory image. len(progs) must equal p.Cores.
+func New(p Params, img *mem.Image, progs []*isa.Program) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) != p.Cores {
+		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), p.Cores)
+	}
+	m := &Machine{
+		P:   p,
+		Mem: img,
+		Dir: coherence.New(p.Cores, p.latencies()),
+	}
+	for i := 0; i < p.Cores; i++ {
+		specCap := p.SpecCapacity
+		if p.IdealUnlimited {
+			specCap = 1 << 30
+		}
+		c := &Core{
+			ID:   i,
+			Prog: progs[i],
+			Hier: cache.NewHierarchy(p.L1Bytes, p.L2Bytes, p.Ways, mem.BlockSize, p.L1Hit, p.L2Hit),
+			Tx:   htm.NewTx(specCap),
+			Ret:  core.NewState(p.retconConfig()),
+			Pred: htm.NewPredictor(p.PromoteAfter, p.ViolationPenalty),
+		}
+		m.Cores = append(m.Cores, c)
+	}
+	return m, nil
+}
+
+// Run simulates until every core halts, returning the result. It fails if
+// the cycle watchdog expires (a deadlocked or livelocked configuration,
+// which indicates a bug — the contention policy guarantees progress).
+func (m *Machine) Run() (*Result, error) {
+	for {
+		if m.allHalted() {
+			break
+		}
+		if m.Now >= m.P.MaxCycles {
+			return nil, fmt.Errorf("sim: watchdog expired after %d cycles (pc=%v)", m.Now, m.pcs())
+		}
+		m.Step()
+	}
+	res := &Result{Cycles: m.Now, Cores: m.P.Cores, Mode: m.P.Mode}
+	for _, c := range m.Cores {
+		res.PerCore = append(res.PerCore, c.Stats)
+		mergeAgg(&res.Retcon, &c.RetAgg)
+	}
+	return res, nil
+}
+
+func mergeAgg(dst, src *RetconAgg) {
+	dst.Txs += src.Txs
+	dst.SumLost += src.SumLost
+	dst.SumTracked += src.SumTracked
+	dst.SumRegs += src.SumRegs
+	dst.SumStores += src.SumStores
+	dst.SumConstraints += src.SumConstraints
+	dst.SumCommitCycles += src.SumCommitCycles
+	dst.SumTxCycles += src.SumTxCycles
+	dst.ConstraintViolations += src.ConstraintViolations
+	dst.StructureOverflowAborts += src.StructureOverflowAborts
+	max64(&dst.MaxLost, src.MaxLost)
+	max64(&dst.MaxTracked, src.MaxTracked)
+	max64(&dst.MaxRegs, src.MaxRegs)
+	max64(&dst.MaxStores, src.MaxStores)
+	max64(&dst.MaxConstraints, src.MaxConstraints)
+	max64(&dst.MaxCommitCycles, src.MaxCommitCycles)
+}
+
+func (m *Machine) allHalted() bool {
+	for _, c := range m.Cores {
+		if !c.halted {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) pcs() []int {
+	out := make([]int, len(m.Cores))
+	for i, c := range m.Cores {
+		out[i] = c.PC
+	}
+	return out
+}
+
+// Step advances the machine by one cycle.
+func (m *Machine) Step() {
+	m.Now++
+	for _, c := range m.Cores {
+		m.stepCore(c)
+	}
+	m.releaseBarrier()
+}
+
+func (m *Machine) stepCore(c *Core) {
+	switch {
+	case c.halted:
+	case c.barrierWait:
+		c.addCycle(CatBarrier)
+	case m.Now <= c.stallUntil:
+		c.addCycle(c.stallCat)
+	default:
+		m.exec(c)
+	}
+}
+
+func (m *Machine) releaseBarrier() {
+	if m.barrierArrived == 0 {
+		return
+	}
+	alive := 0
+	for _, c := range m.Cores {
+		if !c.halted {
+			alive++
+		}
+	}
+	if m.barrierArrived < alive {
+		return
+	}
+	for _, c := range m.Cores {
+		c.barrierWait = false
+	}
+	m.barrierArrived = 0
+}
+
+// addCycle attributes the current cycle to a category, accumulating busy
+// and other time inside transactions for reattribution on abort.
+func (c *Core) addCycle(cat Category) {
+	c.Stats.Cycles[cat]++
+	if c.Tx.Active {
+		switch cat {
+		case CatBusy:
+			c.Tx.AccumBusy++
+		case CatOther:
+			c.Tx.AccumOther++
+		}
+	}
+}
+
+// setStall stalls through cycle `until` with the given category.
+func (c *Core) setStall(until int64, cat Category) {
+	c.stallUntil = until
+	c.stallCat = cat
+}
+
+// abort rolls core c's transaction back (zero-cycle eager rollback),
+// reattributes its accumulated cycles to the conflict category, trains the
+// predictor on the conflicting block (if any), and schedules the restart
+// with a short backoff. It is safe to call on a core that is mid-stall
+// (remote abort): the pending operation's effects were applied atomically
+// at issue and are undone here.
+func (m *Machine) abort(c *Core, blameBlock int64) {
+	c.Stats.Cycles[CatBusy] -= c.Tx.AccumBusy
+	c.Stats.Cycles[CatOther] -= c.Tx.AccumOther
+	c.Stats.Cycles[CatConflict] += c.Tx.AccumBusy + c.Tx.AccumOther
+	c.Tx.Rollback(m.Mem.WriteInt)
+	c.Ret.Reset()
+	c.Regs = c.Tx.RegCkpt
+	c.PC = c.Tx.BeginPC
+	c.Tx.Aborts++
+	c.Stats.Aborts++
+	if blameBlock >= 0 {
+		c.Pred.ObserveConflict(blameBlock)
+	}
+	if m.traceEnabled() {
+		m.trace(c, "abort   attempt=%d blame=block %#x, restart pc=%d", c.Tx.Aborts, blameBlock, c.PC)
+	}
+	backoff := m.P.AbortBackoffBase * int64(minInt(c.Tx.Aborts, 8))
+	c.setStall(m.Now+backoff, CatConflict)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// nextTS returns a fresh transaction timestamp.
+func (m *Machine) nextTS() int64 {
+	m.tsCounter++
+	return m.tsCounter
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "repro/internal/core"
+
+// Category classifies each simulated core-cycle for the Figure 4 / Figure
+// 10 execution-time breakdowns.
+type Category int
+
+// Cycle categories, matching the paper's definitions: busy is "all time
+// spent not stalled on synchronization" (cache misses included); barrier
+// is time stalled at a barrier (load imbalance); conflict is "time spent
+// either stalled by another processor or doing work in a transaction that
+// is ultimately aborted"; other covers remaining synchronization stalls
+// (here: pre-commit repair serialization).
+const (
+	CatBusy Category = iota
+	CatBarrier
+	CatConflict
+	CatOther
+	NumCategories
+)
+
+// String returns the paper's label for the category.
+func (c Category) String() string {
+	switch c {
+	case CatBusy:
+		return "busy"
+	case CatBarrier:
+		return "barrier"
+	case CatConflict:
+		return "conflict"
+	case CatOther:
+		return "other"
+	}
+	return "?"
+}
+
+// CoreStats accumulates one core's counters.
+type CoreStats struct {
+	Cycles    [NumCategories]int64
+	Commits   int64
+	Aborts    int64
+	Nacks     int64
+	Overflows int64 // spec-set overflows (should be zero on paper workloads)
+	Instrs    int64
+}
+
+// RetconAgg aggregates per-committed-transaction RETCON utilization for
+// Table 3. Sums and maxima are over committed transactions.
+type RetconAgg struct {
+	Txs int64
+
+	SumLost, MaxLost                 int64
+	SumTracked, MaxTracked           int64
+	SumRegs, MaxRegs                 int64
+	SumStores, MaxStores             int64
+	SumConstraints, MaxConstraints   int64
+	SumCommitCycles, MaxCommitCycles int64
+	SumTxCycles                      int64
+	ConstraintViolations             int64
+	StructureOverflowAborts          int64
+}
+
+func (a *RetconAgg) record(st core.TxStats, txCycles int64) {
+	a.Txs++
+	a.SumLost += int64(st.BlocksLost)
+	a.SumTracked += int64(st.BlocksTracked)
+	a.SumRegs += int64(st.SymRegsRepaired)
+	a.SumStores += int64(st.PrivateStores)
+	a.SumConstraints += int64(st.ConstraintAddrs)
+	a.SumCommitCycles += st.CommitCycles
+	a.SumTxCycles += txCycles
+	max64(&a.MaxLost, int64(st.BlocksLost))
+	max64(&a.MaxTracked, int64(st.BlocksTracked))
+	max64(&a.MaxRegs, int64(st.SymRegsRepaired))
+	max64(&a.MaxStores, int64(st.PrivateStores))
+	max64(&a.MaxConstraints, int64(st.ConstraintAddrs))
+	max64(&a.MaxCommitCycles, st.CommitCycles)
+}
+
+func max64(dst *int64, v int64) {
+	if v > *dst {
+		*dst = v
+	}
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles  int64 // total cycles until all cores halted
+	Cores   int
+	Mode    Mode
+	PerCore []CoreStats
+	Retcon  RetconAgg
+}
+
+// Totals sums the per-core counters.
+func (r *Result) Totals() CoreStats {
+	var t CoreStats
+	for i := range r.PerCore {
+		c := &r.PerCore[i]
+		for k := 0; k < int(NumCategories); k++ {
+			t.Cycles[k] += c.Cycles[k]
+		}
+		t.Commits += c.Commits
+		t.Aborts += c.Aborts
+		t.Nacks += c.Nacks
+		t.Overflows += c.Overflows
+		t.Instrs += c.Instrs
+	}
+	return t
+}
+
+// Breakdown returns the fraction of attributed core-cycles in each
+// category (Figure 4 / Figure 10 bars).
+func (r *Result) Breakdown() [NumCategories]float64 {
+	t := r.Totals()
+	var total int64
+	for _, v := range t.Cycles {
+		total += v
+	}
+	var out [NumCategories]float64
+	if total == 0 {
+		return out
+	}
+	for k := range out {
+		out[k] = float64(t.Cycles[k]) / float64(total)
+	}
+	return out
+}
+
+// Table3Row is the paper's Table 3 for one workload: averages and maxima
+// per committed transaction plus the pre-commit overhead.
+type Table3Row struct {
+	AvgLost, MaxLost               float64
+	AvgTracked, MaxTracked         float64
+	AvgRegs, MaxRegs               float64
+	AvgStores, MaxStores           float64
+	AvgConstraints, MaxConstraints float64
+	AvgCommitCycles                float64
+	CommitStallPct                 float64
+}
+
+// Table3 computes the Table 3 row from the aggregated RETCON stats.
+func (r *Result) Table3() Table3Row {
+	a := r.Retcon
+	if a.Txs == 0 {
+		return Table3Row{}
+	}
+	n := float64(a.Txs)
+	row := Table3Row{
+		AvgLost:         float64(a.SumLost) / n,
+		MaxLost:         float64(a.MaxLost),
+		AvgTracked:      float64(a.SumTracked) / n,
+		MaxTracked:      float64(a.MaxTracked),
+		AvgRegs:         float64(a.SumRegs) / n,
+		MaxRegs:         float64(a.MaxRegs),
+		AvgStores:       float64(a.SumStores) / n,
+		MaxStores:       float64(a.MaxStores),
+		AvgConstraints:  float64(a.SumConstraints) / n,
+		MaxConstraints:  float64(a.MaxConstraints),
+		AvgCommitCycles: float64(a.SumCommitCycles) / n,
+	}
+	if a.SumTxCycles > 0 {
+		row.CommitStallPct = 100 * float64(a.SumCommitCycles) / float64(a.SumTxCycles)
+	}
+	return row
+}

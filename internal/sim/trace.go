@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceTo enables event tracing: one line per transactional event (begin,
+// commit, abort, NACK, symbolic loss, constraint violation, repair) is
+// written to w. Tracing is meant for small machines and short programs —
+// it is exact, not sampled — and is disabled by passing nil.
+func (m *Machine) TraceTo(w io.Writer) { m.traceW = w }
+
+func (m *Machine) trace(c *Core, format string, args ...interface{}) {
+	if m.traceW == nil {
+		return
+	}
+	fmt.Fprintf(m.traceW, "t=%-7d core%-2d %s\n", m.Now, c.ID, fmt.Sprintf(format, args...))
+}
+
+// traceEnabled reports whether tracing is active (used to avoid building
+// expensive arguments on the hot path).
+func (m *Machine) traceEnabled() bool { return m.traceW != nil }

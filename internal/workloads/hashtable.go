@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// hashTable is the shared open-addressing (linear probing) hash set used by
+// the genome, intruder and vacation kernels. It mirrors STAMP's hashtable:
+// a fixed-capacity slot array, optionally with a shared `size` field that
+// every successful insert increments and compares against a resize
+// threshold — the paper's canonical auxiliary-data conflict ("hashtable
+// size field increments on inserts of different elements").
+//
+// Resizes are modeled as amortized threshold growth: the slot array is
+// provisioned for the full key population up front, and crossing the
+// threshold doubles the threshold inside the transaction. This preserves
+// the conflict structure the paper studies (every insert reads and writes
+// `size` and branches on the load factor; crossings are rare and
+// serializing) without modeling element movement, which STAMP's benchmarks
+// almost never trigger in a well-configured table (§4: "most hashtable
+// inserts do not cause resizes").
+type hashTable struct {
+	Bits       int64
+	Base       int64
+	SizeAddr   int64 // 0 => fixed-size table (no size bookkeeping)
+	ThreshAddr int64
+	MaskAddr   int64 // resizable only: mask lives in the header block too
+}
+
+// newHashTable lays out a table with 1<<bits slots. When resizable, a
+// size/threshold block is allocated and initialized.
+func newHashTable(img *mem.Image, bits int64, resizable bool, initThresh int64) *hashTable {
+	h := &hashTable{
+		Bits: bits,
+		Base: img.AllocBlocks((1 << uint(bits)) * 8),
+	}
+	if resizable {
+		// The header block holds size, resize threshold and the probe
+		// mask. Every operation reads the mask, so under eager conflict
+		// detection every probe conflicts with any in-flight size update
+		// (block-granularity false sharing); value-based and symbolic
+		// configurations see the mask word unchanged and are unaffected.
+		// This mirrors STAMP's hashtable struct, whose capacity and size
+		// fields share a cache line.
+		blk := img.AllocBlocks(mem.BlockSize)
+		h.SizeAddr = blk
+		h.ThreshAddr = blk + 8
+		h.MaskAddr = blk + 16
+		img.Write64(h.ThreshAddr, initThresh)
+		img.Write64(h.MaskAddr, int64(1)<<uint(bits)-1)
+	}
+	return h
+}
+
+// emitMask leaves the probe mask in mreg: loaded from the header block for
+// resizable tables, an immediate for fixed-size tables.
+func (h *hashTable) emitMask(b *isa.Builder, mreg isa.Reg) {
+	if h.MaskAddr != 0 {
+		b.Ld(mreg, isa.Zero, h.MaskAddr, 8)
+	} else {
+		b.Li(mreg, int64(1)<<uint(h.Bits)-1)
+	}
+}
+
+// emitInsert emits the insert of the (nonzero) key register. Control falls
+// through after the insert completes (fresh insert or duplicate). The
+// registers hreg/treg/sreg/areg are clobbered. prefix must be unique per
+// call site (label namespace).
+func (h *hashTable) emitInsert(b *isa.Builder, prefix string, key, hreg, treg, sreg, areg, mreg isa.Reg) {
+	h.emitMask(b, mreg)
+	b.HashMix(hreg, key, h.Bits)
+	b.Label(prefix + "_probe")
+	b.Shli(treg, hreg, 3)
+	b.Addi(treg, treg, h.Base)
+	b.Ld(sreg, treg, 0, 8)
+	b.Beq(sreg, isa.Zero, prefix+"_insert")
+	b.Beq(sreg, key, prefix+"_done")
+	b.Addi(hreg, hreg, 1)
+	b.And(hreg, hreg, mreg)
+	b.Jmp(prefix + "_probe")
+
+	b.Label(prefix + "_insert")
+	b.St(key, treg, 0, 8)
+	if h.SizeAddr != 0 {
+		b.Ld(sreg, isa.Zero, h.SizeAddr, 8)
+		b.Addi(sreg, sreg, 1)
+		b.St(sreg, isa.Zero, h.SizeAddr, 8)
+		b.Ld(areg, isa.Zero, h.ThreshAddr, 8)
+		b.Blt(sreg, areg, prefix+"_done")
+		b.Shli(areg, areg, 1)
+		b.St(areg, isa.Zero, h.ThreshAddr, 8)
+	}
+	b.Label(prefix + "_done")
+}
+
+// emitLookup emits a lookup of key, leaving the slot address holding the
+// key in treg. The key must be present (the probe loop does not terminate
+// on absent keys); kernels only look up pre-inserted keys.
+func (h *hashTable) emitLookup(b *isa.Builder, prefix string, key, hreg, treg, sreg, mreg isa.Reg) {
+	h.emitMask(b, mreg)
+	b.HashMix(hreg, key, h.Bits)
+	b.Label(prefix + "_probe")
+	b.Shli(treg, hreg, 3)
+	b.Addi(treg, treg, h.Base)
+	b.Ld(sreg, treg, 0, 8)
+	b.Beq(sreg, key, prefix+"_found")
+	b.Addi(hreg, hreg, 1)
+	b.And(hreg, hreg, mreg)
+	b.Jmp(prefix + "_probe")
+	b.Label(prefix + "_found")
+}
+
+// keys scans the final image and returns the table's contents.
+func (h *hashTable) keys(img *mem.Image) []int64 {
+	var out []int64
+	slots := int64(1) << uint(h.Bits)
+	for i := int64(0); i < slots; i++ {
+		if v := img.Read64(h.Base + i*8); v != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// verify checks the final table contents against the expected distinct key
+// set and, for resizable tables, the size field against the distinct count.
+func (h *hashTable) verify(img *mem.Image, name string, expected []int64) error {
+	got := distinct(h.keys(img))
+	want := distinct(expected)
+	if len(got) != len(want) {
+		return verifyErr(name, "table holds %d distinct keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return verifyErr(name, "table key mismatch at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if h.SizeAddr != 0 {
+		if sz := img.Read64(h.SizeAddr); sz != int64(len(want)) {
+			return verifyErr(name, "size field = %d, want %d (lost or double-counted increments)", sz, len(want))
+		}
+	}
+	return nil
+}
+
+// capacityCheck panics if the expected population overfills the table (a
+// configuration bug: the probe loop assumes a load factor < 3/4).
+func (h *hashTable) capacityCheck(expectedKeys int) {
+	slots := int64(1) << uint(h.Bits)
+	if int64(expectedKeys)*4 > slots*3 {
+		panic(fmt.Sprintf("workloads: hashtable with %d slots cannot hold %d keys at load < 0.75", slots, expectedKeys))
+	}
+}

@@ -1,0 +1,51 @@
+package workloads
+
+import "fmt"
+
+// All returns the evaluation workloads in the paper's presentation order
+// (Table 2 / Figure 9 x-axis), followed by the counter microbenchmark.
+func All() []Workload {
+	return []Workload{
+		DefaultGenome(),
+		DefaultGenomeSz(),
+		DefaultIntruder(),
+		DefaultIntruderOpt(),
+		DefaultIntruderOptSz(),
+		DefaultKMeans(),
+		DefaultLabyrinth(),
+		DefaultSSCA2(),
+		DefaultVacation(),
+		DefaultVacationOpt(),
+		DefaultVacationOptSz(),
+		DefaultYada(),
+		DefaultPython(),
+		DefaultPythonOpt(),
+		DefaultCounter(),
+	}
+}
+
+// Figure1Names are the eight unmodified workloads of Figure 1.
+func Figure1Names() []string {
+	return []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada", "python"}
+}
+
+// PaperNames are the fourteen variants of Figures 3, 4, 9 and 10.
+func PaperNames() []string {
+	return []string{
+		"genome", "genome-sz",
+		"intruder", "intruder_opt", "intruder_opt-sz",
+		"kmeans", "labyrinth", "ssca2",
+		"vacation", "vacation_opt", "vacation_opt-sz",
+		"yada", "python", "python_opt",
+	}
+}
+
+// Lookup returns the workload with the given paper name.
+func Lookup(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}

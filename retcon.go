@@ -1,0 +1,128 @@
+// Package retcon is a library-level reproduction of "RETCON: Transactional
+// Repair Without Replay" (Blundell, Raghavan, Martin — ISCA 2010 / UPenn TR
+// MS-CIS-09-15): a deterministic cycle-level multicore simulator with a
+// hardware-transactional-memory baseline and RETCON's symbolic conflict
+// repair, plus the paper's workload kernels and evaluation harness.
+//
+// Quick start:
+//
+//	cfg := retcon.DefaultConfig()
+//	cfg.Mode = retcon.ModeRetCon
+//	res, err := retcon.RunNamed("python_opt", cfg)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package retcon
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Mode selects the conflict-handling configuration (Figure 9).
+type Mode = sim.Mode
+
+// Modes: the eager HTM baseline, the lazy value-based ablation, and full
+// RETCON symbolic repair.
+const (
+	ModeEager  = sim.Eager
+	ModeLazyVB = sim.LazyVB
+	ModeRetCon = sim.RetCon
+)
+
+// Config is the machine configuration (Table 1 by default).
+type Config = sim.Params
+
+// DefaultConfig returns the paper's Table 1 machine configuration.
+func DefaultConfig() Config { return sim.DefaultParams() }
+
+// Result is a completed simulation with its statistics.
+type Result struct {
+	Workload string
+	Threads  int
+	Mode     Mode
+	Cycles   int64
+	Sim      *sim.Result
+}
+
+// Workload is a runnable benchmark kernel.
+type Workload = workloads.Workload
+
+// Workloads returns every available workload in the paper's order.
+func Workloads() []Workload { return workloads.All() }
+
+// LookupWorkload returns the workload with the given paper name
+// (e.g. "genome-sz", "python_opt").
+func LookupWorkload(name string) (Workload, error) { return workloads.Lookup(name) }
+
+// Run builds the workload for cfg.Cores threads, simulates it to
+// completion, verifies the final memory image against the workload's
+// atomicity invariants, and returns the result.
+func Run(w Workload, cfg Config) (*Result, error) {
+	return RunSeeded(w, cfg, 1)
+}
+
+// RunSeeded is Run with an explicit workload input seed.
+func RunSeeded(w Workload, cfg Config, seed int64) (*Result, error) {
+	return RunTraced(w, cfg, seed, nil)
+}
+
+// RunTraced is RunSeeded with an optional per-event transactional trace
+// written to tw (begin/commit/abort/NACK/symbolic-loss/repair lines).
+// Tracing is exact, not sampled; use it on small machines.
+func RunTraced(w Workload, cfg Config, seed int64, tw io.Writer) (*Result, error) {
+	bundle := w.Build(cfg.Cores, seed)
+	machine, err := sim.New(cfg, bundle.Mem, bundle.Programs)
+	if err != nil {
+		return nil, fmt.Errorf("retcon: %s: %w", w.Name(), err)
+	}
+	if tw != nil {
+		machine.TraceTo(tw)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("retcon: %s: %w", w.Name(), err)
+	}
+	if bundle.Verify != nil {
+		if err := bundle.Verify(bundle.Mem); err != nil {
+			return nil, fmt.Errorf("retcon: %s (%v, %d cores): %w", w.Name(), cfg.Mode, cfg.Cores, err)
+		}
+	}
+	return &Result{
+		Workload: w.Name(),
+		Threads:  cfg.Cores,
+		Mode:     cfg.Mode,
+		Cycles:   res.Cycles,
+		Sim:      res,
+	}, nil
+}
+
+// RunNamed runs the workload with the given paper name.
+func RunNamed(name string, cfg Config) (*Result, error) {
+	w, err := LookupWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(w, cfg)
+}
+
+// Speedup runs the workload sequentially (one core) and under cfg, and
+// returns parallel speedup = seq cycles / parallel cycles, as in the
+// paper's "speedup over seq" figures.
+func Speedup(w Workload, cfg Config) (speedup float64, seq, par *Result, err error) {
+	seqCfg := cfg
+	seqCfg.Cores = 1
+	seqCfg.Mode = ModeEager
+	seq, err = Run(w, seqCfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	par, err = Run(w, cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return float64(seq.Cycles) / float64(par.Cycles), seq, par, nil
+}

@@ -1,0 +1,109 @@
+package retcon_test
+
+import (
+	"testing"
+
+	retcon "repro"
+)
+
+func cfg(cores int, mode retcon.Mode) retcon.Config {
+	c := retcon.DefaultConfig()
+	c.Cores = cores
+	c.Mode = mode
+	return c
+}
+
+// TestPublicAPIEndToEnd runs representative workloads through the public
+// entry points under every mode; Run verifies atomicity internally.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	for _, name := range []string{"counter", "genome-sz", "python_opt"} {
+		for _, mode := range []retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon} {
+			res, err := retcon.RunNamed(name, cfg(8, mode))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			if res.Cycles <= 0 || res.Workload != name || res.Mode != mode {
+				t.Errorf("%s/%v: malformed result %+v", name, mode, res)
+			}
+			if res.Sim.Totals().Commits == 0 {
+				t.Errorf("%s/%v: no commits recorded", name, mode)
+			}
+		}
+	}
+}
+
+// TestHeadlineResult reproduces the paper's central claim at test scale:
+// a conflict-bound workload (shared counter) gains dramatically from
+// RETCON while the eager baseline does not scale.
+func TestHeadlineResult(t *testing.T) {
+	w, err := retcon.LookupWorkload("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, _, eagerPar, err := retcon.Speedup(w, cfg(16, retcon.ModeEager))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _, rcPar, err := retcon.Speedup(w, cfg(16, retcon.ModeRetCon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc < 2*eager {
+		t.Errorf("RETCON speedup %.2f should be >= 2x eager speedup %.2f", rc, eager)
+	}
+	if eagerPar.Sim.Totals().Aborts <= rcPar.Sim.Totals().Aborts {
+		t.Error("eager must abort more than RETCON on the counter workload")
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := retcon.RunNamed("nope", cfg(2, retcon.ModeEager)); err == nil {
+		t.Error("unknown workload must error")
+	}
+	bad := cfg(0, retcon.ModeEager)
+	if _, err := retcon.RunNamed("counter", bad); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := retcon.Workloads()
+	if len(ws) != 15 { // 14 paper variants + counter
+		t.Errorf("workload count = %d, want 15", len(ws))
+	}
+}
+
+// TestDefaultConfigIsTable1 pins the paper's machine parameters so that
+// accidental changes to the evaluation configuration fail loudly.
+func TestDefaultConfigIsTable1(t *testing.T) {
+	c := retcon.DefaultConfig()
+	if c.Cores != 32 {
+		t.Error("Table 1: 32 cores")
+	}
+	if c.L1Bytes != 64<<10 || c.L2Bytes != 1<<20 || c.Ways != 4 {
+		t.Error("Table 1: 64KB 4-way L1, 1MB 4-way L2")
+	}
+	if c.L2Hit != 10 || c.DRAM != 100 || c.Hop != 20 {
+		t.Error("Table 1: 10-cycle L2, 100-cycle DRAM, 20-cycle hop")
+	}
+	if c.Retcon.IVBEntries != 16 || c.Retcon.ConstraintEntries != 16 || c.Retcon.SSBEntries != 32 {
+		t.Error("Table 1: 16-entry IVB, 16-entry constraint buffer, 32-entry SSB")
+	}
+}
+
+// TestSeedsChangeInterleavingNotInvariants runs the same workload with
+// different seeds; results differ but all verify.
+func TestSeedsChangeInterleavingNotInvariants(t *testing.T) {
+	w, _ := retcon.LookupWorkload("counter")
+	cycles := map[int64]bool{}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := retcon.RunSeeded(w, cfg(8, retcon.ModeRetCon), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[res.Cycles] = true
+	}
+	// The counter workload is input-independent, so cycles may coincide;
+	// the essential check is that all runs verified (no error above).
+	_ = cycles
+}

@@ -1,0 +1,41 @@
+package retcon_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	retcon "repro"
+)
+
+// TestRunTraced checks the trace facility: a contended RETCON run must
+// emit begin/commit lines and, once symbolic tracking engages, symbolic
+// release and repair lines.
+func TestRunTraced(t *testing.T) {
+	w, err := retcon.LookupWorkload("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := retcon.RunTraced(w, cfg(4, retcon.ModeRetCon), 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"begin", "commit", "release", "repair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+	if int64(strings.Count(out, "commit")) != res.Sim.Totals().Commits {
+		t.Errorf("trace commit lines %d != commits %d", strings.Count(out, "commit"), res.Sim.Totals().Commits)
+	}
+	// Tracing must not perturb the simulation.
+	plain, err := retcon.RunSeeded(w, cfg(4, retcon.ModeRetCon), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != res.Cycles {
+		t.Errorf("tracing changed the run: %d vs %d cycles", res.Cycles, plain.Cycles)
+	}
+}
