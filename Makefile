@@ -1,0 +1,29 @@
+# Repro of RETCON (Blundell, Raghavan & Martin, ISCA 2010).
+#
+#   make build       compile everything
+#   make vet         go vet, must stay clean
+#   make test        the tier-1 gate: build + full test suite
+#   make test-short  quick iteration loop (skips the slow verification grids)
+#   make ci          what CI runs: vet + full tests
+#   make bench       regenerate the paper's figures and tables concurrently
+
+GO ?= go
+
+.PHONY: build vet test test-short ci bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+test-short: build
+	$(GO) test -short ./...
+
+ci: vet test
+
+bench: build
+	$(GO) run ./cmd/paperbench

@@ -8,6 +8,12 @@
 //	paperbench -table 3        # one table
 //	paperbench -table ideal    # the §5.3 idealized-system comparison
 //	paperbench -cores 16       # override the machine size
+//	paperbench -workers 8      # bound the simulation worker pool
+//
+// Simulations execute concurrently through the sweep engine
+// (internal/sweep): each figure/table prefetches its full grid across the
+// worker pool, then renders serially, so the output bytes are identical
+// to a sequential run for any -workers value.
 package main
 
 import (
@@ -25,12 +31,14 @@ func main() {
 	table := flag.String("table", "", "regenerate one table: 2, 3 or ideal")
 	cores := flag.Int("cores", 32, "number of simulated cores")
 	seed := flag.Int64("seed", 1, "workload input seed")
+	workers := flag.Int("workers", 0, "simulation worker-pool size (default: GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := retcon.DefaultConfig()
 	cfg.Cores = *cores
 	h := report.NewHarness(cfg)
 	h.Seed = *seed
+	h.Workers = *workers
 
 	all := *fig == "" && *table == ""
 	out := os.Stdout

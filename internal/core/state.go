@@ -213,14 +213,18 @@ func (s *State) EvalSym(v SymVal) int64 {
 
 // CheckConstraints validates every constraint against the recorded root
 // values (which the pre-commit process has refreshed to final values).
-// It returns the first violated root word address, or -1 if all hold.
+// It returns the lowest violated root word address, or -1 if all hold.
+// The choice must not depend on map iteration order: the returned word
+// trains the conflict predictor, so a nondeterministic pick would leak
+// into simulated timing.
 func (s *State) CheckConstraints() int64 {
+	violated := int64(-1)
 	for word, iv := range s.Constraints {
-		if !iv.Contains(s.RootVal(word)) {
-			return word
+		if !iv.Contains(s.RootVal(word)) && (violated < 0 || word < violated) {
+			violated = word
 		}
 	}
-	return -1
+	return violated
 }
 
 // Stats summarizes the transaction's structure utilization (Table 3

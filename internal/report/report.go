@@ -3,51 +3,108 @@
 // (execution-time breakdowns), Figure 9 (eager vs lazy-vb vs RETCON) and
 // Table 3 (RETCON structure utilization). cmd/paperbench and the root
 // bench harness both drive it.
+//
+// The Harness executes every simulation through the concurrent sweep
+// engine (internal/sweep): each figure/table prefetches its full
+// workload × mode × cores grid across a bounded worker pool, then
+// assembles rows serially from the cache. Because each simulation is
+// itself deterministic and runs share no state, the rendered tables are
+// byte-identical to a sequential regeneration for any pool size. The
+// package also hosts the structured sinks (JSONL, CSV, text table) that
+// sweep records stream through.
 package report
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	retcon "repro"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
 // Harness runs and caches simulations for report generation. Runs are
 // keyed by (workload, mode, cores) so figures sharing data (e.g. Figure 9
-// includes Figure 3's eager bars) do not re-simulate.
+// includes Figure 3's eager bars) do not re-simulate. All execution goes
+// through the sweep engine; Workers bounds the pool.
 type Harness struct {
-	Base  retcon.Config
-	Seed  int64
-	cache map[string]*retcon.Result
+	Base retcon.Config
+	Seed int64
+	// Workers bounds the concurrent prefetch pool; <= 0 means GOMAXPROCS.
+	Workers int
+
+	mu    sync.Mutex
+	cache map[runKey]*retcon.Result
+}
+
+// runKey identifies one cached run of the harness's base machine.
+type runKey struct {
+	name  string
+	mode  retcon.Mode
+	cores int
 }
 
 // NewHarness creates a harness over the given base machine configuration.
 func NewHarness(base retcon.Config) *Harness {
-	return &Harness{Base: base, Seed: 1, cache: make(map[string]*retcon.Result)}
+	return &Harness{Base: base, Seed: 1, cache: make(map[runKey]*retcon.Result)}
 }
 
 // Run returns the (cached) result of the workload under mode with the
 // given core count.
 func (h *Harness) Run(name string, mode retcon.Mode, cores int) (*retcon.Result, error) {
-	key := fmt.Sprintf("%s/%d/%d", name, mode, cores)
-	if r, ok := h.cache[key]; ok {
-		return r, nil
-	}
-	w, err := workloads.Lookup(name)
-	if err != nil {
+	if err := h.prefetch([]runKey{{name, mode, cores}}); err != nil {
 		return nil, err
 	}
-	cfg := h.Base
-	cfg.Mode = mode
-	cfg.Cores = cores
-	r, err := retcon.RunSeeded(w, cfg, h.Seed)
-	if err != nil {
-		return nil, err
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cache[runKey{name, mode, cores}], nil
+}
+
+// prefetch simulates every not-yet-cached key through the sweep engine's
+// worker pool and fills the cache. It returns the first per-run error.
+func (h *Harness) prefetch(keys []runKey) error {
+	h.mu.Lock()
+	var missing []runKey
+	seen := make(map[runKey]bool, len(keys))
+	for _, k := range keys {
+		if _, ok := h.cache[k]; !ok && !seen[k] {
+			seen[k] = true
+			missing = append(missing, k)
+		}
 	}
-	h.cache[key] = r
-	return r, nil
+	h.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+
+	runs := make([]sweep.Run, len(missing))
+	for i, k := range missing {
+		cfg := h.Base
+		cfg.Mode = k.mode
+		cfg.Cores = k.cores
+		runs[i] = sweep.Run{Workload: k.name, Seed: h.Seed, Params: cfg}
+	}
+	eng := sweep.Engine{Workers: h.Workers}
+	outs := eng.Execute(runs)
+	if err := sweep.FirstErr(outs); err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, o := range outs {
+		k := missing[i]
+		h.cache[k] = &retcon.Result{
+			Workload: k.name,
+			Threads:  k.cores,
+			Mode:     k.mode,
+			Cycles:   o.Res.Cycles,
+			Sim:      o.Res,
+		}
+	}
+	return nil
 }
 
 // Speedup returns the workload's speedup over one-core sequential
@@ -91,6 +148,16 @@ func (h *Harness) Figure9() ([]SpeedupRow, error) {
 }
 
 func (h *Harness) speedups(names []string, modes []retcon.Mode) ([]SpeedupRow, error) {
+	var keys []runKey
+	for _, name := range names {
+		keys = append(keys, runKey{name, retcon.ModeEager, 1})
+		for _, mode := range modes {
+			keys = append(keys, runKey{name, mode, h.Base.Cores})
+		}
+	}
+	if err := h.prefetch(keys); err != nil {
+		return nil, err
+	}
 	var rows []SpeedupRow
 	for _, name := range names {
 		for _, mode := range modes {
@@ -132,6 +199,16 @@ func (h *Harness) breakdowns(modes []retcon.Mode) ([]BreakdownRow, error) {
 }
 
 func (h *Harness) breakdownsFor(names []string, modes []retcon.Mode) ([]BreakdownRow, error) {
+	var keys []runKey
+	for _, name := range names {
+		keys = append(keys, runKey{name, retcon.ModeEager, h.Base.Cores})
+		for _, mode := range modes {
+			keys = append(keys, runKey{name, mode, h.Base.Cores})
+		}
+	}
+	if err := h.prefetch(keys); err != nil {
+		return nil, err
+	}
 	var rows []BreakdownRow
 	for _, name := range names {
 		eager, err := h.Run(name, retcon.ModeEager, h.Base.Cores)
@@ -168,6 +245,13 @@ type Table3Row struct {
 // Table3 regenerates Table 3: RETCON structure utilization and pre-commit
 // overhead per workload.
 func (h *Harness) Table3() ([]Table3Row, error) {
+	var keys []runKey
+	for _, name := range workloads.PaperNames() {
+		keys = append(keys, runKey{name, retcon.ModeRetCon, h.Base.Cores})
+	}
+	if err := h.prefetch(keys); err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
 	for _, name := range workloads.PaperNames() {
 		r, err := h.Run(name, retcon.ModeRetCon, h.Base.Cores)
@@ -190,22 +274,32 @@ type IdealRow struct {
 
 // IdealComparison regenerates the §5.3 idealized-system validation.
 func (h *Harness) IdealComparison(names []string) ([]IdealRow, error) {
-	var rows []IdealRow
-	for _, name := range names {
-		def, err := h.Speedup(name, retcon.ModeRetCon)
-		if err != nil {
-			return nil, err
-		}
+	var keys []runKey
+	idealRuns := make([]sweep.Run, len(names))
+	for i, name := range names {
+		keys = append(keys, runKey{name, retcon.ModeEager, 1}, runKey{name, retcon.ModeRetCon, h.Base.Cores})
 		cfg := h.Base
 		cfg.Mode = retcon.ModeRetCon
+		cfg.Cores = h.Base.Cores
 		cfg.IdealUnlimited = true
 		cfg.IdealParallelReacquire = true
 		cfg.IdealZeroStoreLatency = true
-		w, err := workloads.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		ideal, err := retcon.RunSeeded(w, cfg, h.Seed)
+		idealRuns[i] = sweep.Run{Workload: name, Seed: h.Seed, Params: cfg}
+	}
+	if err := h.prefetch(keys); err != nil {
+		return nil, err
+	}
+	// Ideal runs are not part of the (workload, mode, cores) cache space;
+	// execute them as a one-off grid through the same engine.
+	eng := sweep.Engine{Workers: h.Workers}
+	ideals := eng.Execute(idealRuns)
+	if err := sweep.FirstErr(ideals); err != nil {
+		return nil, err
+	}
+
+	var rows []IdealRow
+	for i, name := range names {
+		def, err := h.Speedup(name, retcon.ModeRetCon)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +307,7 @@ func (h *Harness) IdealComparison(names []string) ([]IdealRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		idealSp := float64(seq.Cycles) / float64(ideal.Cycles)
+		idealSp := float64(seq.Cycles) / float64(ideals[i].Res.Cycles)
 		rows = append(rows, IdealRow{
 			Workload:     name,
 			Default:      def,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	retcon "repro"
+	"repro/internal/sweep"
 )
 
 // testHarness uses a small machine so report tests stay fast; the full
@@ -105,6 +106,67 @@ func TestTable2Rendering(t *testing.T) {
 		if !strings.Contains(buf.String(), name) {
 			t.Errorf("table 2 missing %s", name)
 		}
+	}
+}
+
+// TestParallelHarnessMatchesSerial renders the same figure with a 1-worker
+// and a 4-worker pool and requires byte-identical output — the sweep
+// engine must not perturb results or row order.
+func TestParallelHarnessMatchesSerial(t *testing.T) {
+	render := func(workers int) string {
+		h := testHarness()
+		h.Workers = workers
+		rows, err := h.speedups([]string{"counter", "labyrinth"},
+			[]retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		WriteSpeedups(&buf, "t", rows)
+		return buf.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Errorf("parallel output differs from serial:\n--- serial\n%s--- parallel\n%s", serial, parallel)
+	}
+}
+
+func TestSinks(t *testing.T) {
+	recs := []sweep.Record{
+		{Spec: "s", Workload: "counter", Mode: "eager", Cores: 4, Seed: 1, Cycles: 100, Commits: 8},
+		{Spec: "s", Workload: "counter", Mode: "RetCon", Cores: 4, Seed: 1, Cycles: 80, Speedup: 1.25},
+	}
+	var jl bytes.Buffer
+	js := NewJSONLSink(&jl)
+	for _, r := range recs {
+		if err := js.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], `"speedup":1.25`) {
+		t.Errorf("jsonl output:\n%s", jl.String())
+	}
+
+	var cb bytes.Buffer
+	cs := NewCSVSink(&cb)
+	for _, r := range recs {
+		if err := cs.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(csvLines) != 3 || !strings.HasPrefix(csvLines[0], "spec,workload,mode,cores,seed") {
+		t.Errorf("csv output:\n%s", cb.String())
+	}
+
+	var tb bytes.Buffer
+	WriteRecords(&tb, "title", recs)
+	if !strings.Contains(tb.String(), "counter") || !strings.Contains(tb.String(), "1.25x") {
+		t.Errorf("table output:\n%s", tb.String())
 	}
 }
 

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sweep"
+)
+
+// JSONLSink streams sweep records as JSON lines. Records arrive from
+// Engine.ExecuteStream in deterministic run order, so the file is
+// byte-stable across worker-pool sizes.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one record as one line.
+func (s *JSONLSink) Emit(rec sweep.Record) error { return s.enc.Encode(rec) }
+
+// CSVSink streams sweep records as CSV with a fixed header.
+type CSVSink struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSVSink wraps w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+var csvHeader = []string{
+	"spec", "workload", "mode", "cores", "seed",
+	"cycles", "instrs", "commits", "aborts", "nacks",
+	"busy_frac", "barrier_frac", "conflict_frac", "other_frac",
+	"baseline_cycles", "speedup", "error",
+}
+
+// Emit writes one record as one row (the header first, lazily) and
+// flushes, so an interrupted sweep leaves every emitted row on disk.
+func (s *CSVSink) Emit(rec sweep.Record) error {
+	if !s.header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	frac := func(f float64) string { return strconv.FormatFloat(f, 'f', 6, 64) }
+	row := []string{
+		rec.Spec, rec.Workload, rec.Mode,
+		strconv.Itoa(rec.Cores), strconv.FormatInt(rec.Seed, 10),
+		strconv.FormatInt(rec.Cycles, 10), strconv.FormatInt(rec.Instrs, 10),
+		strconv.FormatInt(rec.Commits, 10), strconv.FormatInt(rec.Aborts, 10),
+		strconv.FormatInt(rec.Nacks, 10),
+		frac(rec.Busy), frac(rec.Barrier), frac(rec.Conflict), frac(rec.Other),
+		strconv.FormatInt(rec.BaselineCycles, 10),
+		strconv.FormatFloat(rec.Speedup, 'f', 4, 64),
+		rec.Err,
+	}
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Close flushes buffered rows.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// WriteRecords renders sweep records as the aligned text table used by
+// the figure output.
+func WriteRecords(w io.Writer, title string, recs []sweep.Record) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %-18s %-9s %5s %5s %12s %9s %8s %8s\n",
+		"spec", "workload", "config", "cores", "seed", "cycles", "commits", "aborts", "speedup")
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-12s %-18s %-9s %5d %5d ERROR: %s\n",
+				r.Spec, r.Workload, r.Mode, r.Cores, r.Seed, r.Err)
+			continue
+		}
+		sp := "-"
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%7.2fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "%-12s %-18s %-9s %5d %5d %12d %9d %8d %8s\n",
+			r.Spec, r.Workload, r.Mode, r.Cores, r.Seed,
+			r.Cycles, r.Commits, r.Aborts, sp)
+	}
+}

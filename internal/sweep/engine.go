@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// RunFunc executes one run. The default (nil) runner builds the workload
+// and drives the cycle-level simulator directly; tests substitute fakes.
+type RunFunc func(Run) (*sim.Result, error)
+
+// Engine executes expanded runs across a bounded pool of worker
+// goroutines. The zero value is ready to use: GOMAXPROCS workers and the
+// real simulator.
+type Engine struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Runner overrides run execution (tests); nil means the simulator.
+	Runner RunFunc
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) runner() RunFunc {
+	if e.Runner != nil {
+		return e.Runner
+	}
+	return runOne
+}
+
+// Execute runs the grid and returns one outcome per input run, in input
+// order. Duplicate configurations are simulated once and share a result.
+// Per-run failures are reported in Outcome.Err, not returned here.
+func (e *Engine) Execute(runs []Run) []Outcome {
+	out := make([]Outcome, 0, len(runs))
+	e.ExecuteStream(runs, func(o Outcome) { out = append(out, o) })
+	return out
+}
+
+// ExecuteStream runs the grid, invoking emit once per input run in input
+// order (NOT completion order) as soon as each run's ordered prefix has
+// completed. Emission order is therefore deterministic for any pool size,
+// so streamed JSONL/CSV files are byte-stable. emit is called from the
+// calling goroutine's perspective serially (one invocation at a time).
+func (e *Engine) ExecuteStream(runs []Run, emit func(Outcome)) {
+	if len(runs) == 0 {
+		return
+	}
+
+	// Deduplicate: unique configurations to execute, and for every input
+	// run the index of its unique representative.
+	uniq := make([]Run, 0, len(runs))
+	repr := make([]int, len(runs))
+	index := make(map[key]int, len(runs))
+	for i, r := range runs {
+		k := r.key()
+		u, ok := index[k]
+		if !ok {
+			u = len(uniq)
+			index[k] = u
+			uniq = append(uniq, r)
+		}
+		repr[i] = u
+	}
+
+	type slot struct {
+		res *sim.Result
+		err error
+	}
+	results := make([]slot, len(uniq))
+	done := make([]chan struct{}, len(uniq))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	run := e.runner()
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := run(uniq[i])
+				results[i] = slot{res, err}
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range uniq {
+			next <- i
+		}
+		close(next)
+	}()
+
+	// Emit in input order, blocking on each run's representative.
+	for i, r := range runs {
+		u := repr[i]
+		<-done[u]
+		emit(Outcome{Run: r, Res: results[u].res, Err: results[u].err})
+	}
+	wg.Wait()
+}
+
+// FirstErr returns the first per-run error in the outcomes, if any.
+func FirstErr(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Spec is a declarative experiment grid. The expanded runs are the cross
+// product Workloads × Modes × Cores × Seeds over a base machine, with
+// Params patched onto every run and each matching Override patched on
+// top. Spec files are JSON: one spec object or an array of them (the
+// repository ships with no YAML dependency, deliberately).
+//
+// Empty axes default to: all registered workloads, eager mode, the base
+// configuration's core count, and seed 1.
+type Spec struct {
+	// Name labels the spec in emitted records.
+	Name string `json:"name"`
+	// Workloads are registry names (see internal/workloads); the special
+	// entry "all" expands to every registered workload, "paper" to the
+	// fourteen variants of Figures 3/4/9/10, and "figure1" to the eight
+	// unmodified workloads.
+	Workloads []string `json:"workloads"`
+	// Modes are "eager", "lazy-vb" and/or "retcon"; "all" expands to the
+	// three of them.
+	Modes []string `json:"modes"`
+	Cores []int    `json:"cores"`
+	Seeds []int64  `json:"seeds"`
+	// Params patches the base machine for every run of the spec.
+	Params ParamPatch `json:"params"`
+	// Overrides patch individual axis points (e.g. one workload under one
+	// mode) on top of Params.
+	Overrides []Override `json:"overrides"`
+}
+
+// Override is a conditional parameter patch: Params applies to every
+// expanded run accepted by Match.
+type Override struct {
+	Match  Match      `json:"match"`
+	Params ParamPatch `json:"params"`
+}
+
+// Match selects expanded runs by axis value; nil/empty fields match
+// everything.
+type Match struct {
+	Workload string `json:"workload,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	Cores    int    `json:"cores,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+func (m Match) accepts(workload string, mode sim.Mode, cores int, seed int64) (bool, error) {
+	if m.Workload != "" && m.Workload != workload {
+		return false, nil
+	}
+	if m.Mode != "" {
+		mm, err := ParseMode(m.Mode)
+		if err != nil {
+			return false, err
+		}
+		if mm != mode {
+			return false, nil
+		}
+	}
+	if m.Cores != 0 && m.Cores != cores {
+		return false, nil
+	}
+	if m.Seed != 0 && m.Seed != seed {
+		return false, nil
+	}
+	return true, nil
+}
+
+// ParamPatch is a sparse override of sim.Params: only non-nil fields are
+// applied. JSON keys are the snake_case field names.
+type ParamPatch struct {
+	L1Bytes          *int64 `json:"l1_bytes,omitempty"`
+	L2Bytes          *int64 `json:"l2_bytes,omitempty"`
+	Ways             *int   `json:"ways,omitempty"`
+	L1Hit            *int64 `json:"l1_hit,omitempty"`
+	L2Hit            *int64 `json:"l2_hit,omitempty"`
+	Hop              *int64 `json:"hop,omitempty"`
+	DRAM             *int64 `json:"dram,omitempty"`
+	DRAMOccupancy    *int64 `json:"dram_occupancy,omitempty"`
+	SpecCapacity     *int   `json:"spec_capacity,omitempty"`
+	NackRetry        *int64 `json:"nack_retry,omitempty"`
+	AbortBackoffBase *int64 `json:"abort_backoff_base,omitempty"`
+	PromoteAfter     *int   `json:"promote_after,omitempty"`
+	ViolationPenalty *int   `json:"violation_penalty,omitempty"`
+
+	// RETCON structure sizes (core.Config).
+	IVBEntries        *int `json:"ivb_entries,omitempty"`
+	ConstraintEntries *int `json:"constraint_entries,omitempty"`
+	SSBEntries        *int `json:"ssb_entries,omitempty"`
+
+	// §5.3 idealized-system knobs.
+	IdealUnlimited         *bool `json:"ideal_unlimited,omitempty"`
+	IdealParallelReacquire *bool `json:"ideal_parallel_reacquire,omitempty"`
+	IdealZeroStoreLatency  *bool `json:"ideal_zero_store_latency,omitempty"`
+
+	MemBytes  *int64 `json:"mem_bytes,omitempty"`
+	MaxCycles *int64 `json:"max_cycles,omitempty"`
+}
+
+// Apply patches the non-nil fields onto p.
+func (pp *ParamPatch) Apply(p *sim.Params) {
+	set64 := func(dst *int64, v *int64) {
+		if v != nil {
+			*dst = *v
+		}
+	}
+	setInt := func(dst *int, v *int) {
+		if v != nil {
+			*dst = *v
+		}
+	}
+	setBool := func(dst *bool, v *bool) {
+		if v != nil {
+			*dst = *v
+		}
+	}
+	set64(&p.L1Bytes, pp.L1Bytes)
+	set64(&p.L2Bytes, pp.L2Bytes)
+	setInt(&p.Ways, pp.Ways)
+	set64(&p.L1Hit, pp.L1Hit)
+	set64(&p.L2Hit, pp.L2Hit)
+	set64(&p.Hop, pp.Hop)
+	set64(&p.DRAM, pp.DRAM)
+	set64(&p.DRAMOccupancy, pp.DRAMOccupancy)
+	setInt(&p.SpecCapacity, pp.SpecCapacity)
+	set64(&p.NackRetry, pp.NackRetry)
+	set64(&p.AbortBackoffBase, pp.AbortBackoffBase)
+	setInt(&p.PromoteAfter, pp.PromoteAfter)
+	setInt(&p.ViolationPenalty, pp.ViolationPenalty)
+	setInt(&p.Retcon.IVBEntries, pp.IVBEntries)
+	setInt(&p.Retcon.ConstraintEntries, pp.ConstraintEntries)
+	setInt(&p.Retcon.SSBEntries, pp.SSBEntries)
+	setBool(&p.IdealUnlimited, pp.IdealUnlimited)
+	setBool(&p.IdealParallelReacquire, pp.IdealParallelReacquire)
+	setBool(&p.IdealZeroStoreLatency, pp.IdealZeroStoreLatency)
+	set64(&p.MemBytes, pp.MemBytes)
+	set64(&p.MaxCycles, pp.MaxCycles)
+}
+
+// ParseSpecs decodes a spec file: a single JSON spec object or an array
+// of them. Unknown fields are rejected so typos fail loudly.
+func ParseSpecs(r io.Reader) ([]Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read spec: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(data))
+	var specs []Spec
+	if strings.HasPrefix(trimmed, "[") {
+		if err := strictUnmarshal(data, &specs); err != nil {
+			return nil, err
+		}
+	} else {
+		var s Spec
+		if err := strictUnmarshal(data, &s); err != nil {
+			return nil, err
+		}
+		specs = []Spec{s}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sweep: spec file contains no specs")
+	}
+	return specs, nil
+}
+
+func strictUnmarshal(data []byte, v interface{}) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("sweep: parse spec: trailing content after the first JSON value (wrap multiple specs in an array)")
+	}
+	return nil
+}
+
+// LoadSpecFile reads and parses one spec file.
+func LoadSpecFile(path string) ([]Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	defer f.Close()
+	specs, err := ParseSpecs(f)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	return specs, nil
+}
+
+// Expand expands the spec over the base machine configuration into the
+// deterministic run order: workload-major, then mode, cores, seed.
+func (s *Spec) Expand(base sim.Params) ([]Run, error) {
+	names, err := s.expandWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	modes, err := s.expandModes()
+	if err != nil {
+		return nil, err
+	}
+	cores := s.Cores
+	if len(cores) == 0 {
+		cores = []int{base.Cores}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+
+	var runs []Run
+	for _, name := range names {
+		if _, err := workloads.Lookup(name); err != nil {
+			return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+		}
+		for _, mode := range modes {
+			for _, nc := range cores {
+				for _, seed := range seeds {
+					p := base
+					s.Params.Apply(&p)
+					p.Mode = mode
+					p.Cores = nc
+					for _, ov := range s.Overrides {
+						ok, err := ov.Match.accepts(name, mode, nc, seed)
+						if err != nil {
+							return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+						}
+						if ok {
+							ov.Params.Apply(&p)
+							// Overrides may not retarget the axes themselves.
+							p.Mode = mode
+							p.Cores = nc
+						}
+					}
+					if err := p.Validate(); err != nil {
+						return nil, fmt.Errorf("sweep: spec %q: %s/%v/%d: %w", s.Name, name, mode, nc, err)
+					}
+					runs = append(runs, Run{Spec: s.Name, Workload: name, Seed: seed, Params: p})
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+func (s *Spec) expandWorkloads() ([]string, error) {
+	if len(s.Workloads) == 0 {
+		return allNames(), nil
+	}
+	var out []string
+	for _, n := range s.Workloads {
+		switch strings.ToLower(n) {
+		case "all":
+			out = append(out, allNames()...)
+		case "paper":
+			out = append(out, workloads.PaperNames()...)
+		case "figure1":
+			out = append(out, workloads.Figure1Names()...)
+		default:
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+func (s *Spec) expandModes() ([]sim.Mode, error) {
+	if len(s.Modes) == 0 {
+		return []sim.Mode{sim.Eager}, nil
+	}
+	var out []sim.Mode
+	for _, m := range s.Modes {
+		if strings.EqualFold(m, "all") {
+			out = append(out, AllModes()...)
+			continue
+		}
+		mode, err := ParseMode(m)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+		}
+		out = append(out, mode)
+	}
+	return out, nil
+}
+
+func allNames() []string {
+	ws := workloads.All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name()
+	}
+	return names
+}
+
+// ExpandAll expands every spec and concatenates the runs in spec order.
+func ExpandAll(specs []Spec, base sim.Params) ([]Run, error) {
+	var runs []Run
+	for i := range specs {
+		rs, err := specs[i].Expand(base)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, rs...)
+	}
+	return runs, nil
+}
+
+// Presets are named ready-made specs for cmd/retcon-sweep.
+var presets = map[string]Spec{
+	"quick": {
+		Name:      "quick",
+		Workloads: []string{"counter", "labyrinth"},
+		Modes:     []string{"all"},
+		Cores:     []int{4},
+	},
+	"figure1": {
+		Name:      "figure1",
+		Workloads: []string{"figure1"},
+		Modes:     []string{"eager"},
+	},
+	"paper": {
+		Name:      "paper",
+		Workloads: []string{"paper"},
+		Modes:     []string{"all"},
+	},
+	"modes": {
+		Name:      "modes",
+		Workloads: []string{"all"},
+		Modes:     []string{"all"},
+	},
+	"scaling": {
+		Name:      "scaling",
+		Workloads: []string{"genome-sz", "intruder_opt-sz", "vacation_opt-sz", "python_opt"},
+		Modes:     []string{"retcon"},
+		Cores:     []int{1, 2, 4, 8, 16, 32},
+	},
+	"seeds": {
+		Name:      "seeds",
+		Workloads: []string{"genome", "python_opt"},
+		Modes:     []string{"all"},
+		Seeds:     []int64{1, 2, 3, 4, 5},
+	},
+}
+
+// Preset returns the named preset spec.
+func Preset(name string) (Spec, error) {
+	s, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("sweep: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	return s, nil
+}
+
+// PresetNames lists the presets in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseSpecsObjectAndArray(t *testing.T) {
+	specs, err := ParseSpecs(strings.NewReader(`{
+		"name": "one",
+		"workloads": ["counter"],
+		"modes": ["retcon"],
+		"cores": [4],
+		"seeds": [1, 2]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "one" {
+		t.Fatalf("specs = %+v", specs)
+	}
+
+	specs, err = ParseSpecs(strings.NewReader(`[
+		{"name": "a", "workloads": ["counter"]},
+		{"name": "b", "workloads": ["labyrinth"], "modes": ["all"]}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[1].Name != "b" {
+		t.Fatalf("specs = %+v", specs)
+	}
+}
+
+func TestParseSpecsRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpecs(strings.NewReader(`{"name": "x", "wrkloads": ["counter"]}`)); err == nil {
+		t.Fatal("typo'd field must be rejected")
+	}
+	if _, err := ParseSpecs(strings.NewReader(``)); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+	// Back-to-back objects (JSONL-style) must be rejected, not silently
+	// truncated to the first spec.
+	if _, err := ParseSpecs(strings.NewReader(
+		`{"name": "a", "workloads": ["counter"]}` + "\n" + `{"name": "b", "workloads": ["counter"]}`)); err == nil {
+		t.Fatal("trailing JSON content must be rejected")
+	}
+}
+
+func TestExpandGridOrderAndDefaults(t *testing.T) {
+	s := Spec{
+		Name:      "grid",
+		Workloads: []string{"counter", "labyrinth"},
+		Modes:     []string{"eager", "retcon"},
+		Cores:     []int{2, 4},
+		Seeds:     []int64{1, 7},
+	}
+	runs, err := s.Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2*2*2*2 {
+		t.Fatalf("expanded %d runs, want 16", len(runs))
+	}
+	// Workload-major, then mode, cores, seed.
+	first := runs[0]
+	if first.Workload != "counter" || first.Params.Mode != sim.Eager || first.Params.Cores != 2 || first.Seed != 1 {
+		t.Errorf("first run = %+v", first)
+	}
+	last := runs[15]
+	if last.Workload != "labyrinth" || last.Params.Mode != sim.RetCon || last.Params.Cores != 4 || last.Seed != 7 {
+		t.Errorf("last run = %+v", last)
+	}
+
+	// Defaults: empty modes/cores/seeds.
+	d := Spec{Name: "d", Workloads: []string{"counter"}}
+	runs, err = d.Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Params.Mode != sim.Eager ||
+		runs[0].Params.Cores != sim.DefaultParams().Cores || runs[0].Seed != 1 {
+		t.Errorf("default expansion = %+v", runs)
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	s := Spec{Name: "det", Workloads: []string{"paper"}, Modes: []string{"all"}, Seeds: []int64{1, 2}}
+	a, err := s.Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Expand(sim.DefaultParams())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d differs across expansions", i)
+		}
+	}
+}
+
+func TestExpandParamsAndOverrides(t *testing.T) {
+	cap8, cap99 := 8, 99
+	s := Spec{
+		Name:      "ov",
+		Workloads: []string{"counter", "labyrinth"},
+		Modes:     []string{"eager", "retcon"},
+		Cores:     []int{4},
+		Params:    ParamPatch{SpecCapacity: &cap8},
+		Overrides: []Override{
+			{Match: Match{Workload: "labyrinth", Mode: "retcon"}, Params: ParamPatch{SpecCapacity: &cap99}},
+		},
+	}
+	runs, err := s.Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		want := cap8
+		if r.Workload == "labyrinth" && r.Params.Mode == sim.RetCon {
+			want = cap99
+		}
+		if r.Params.SpecCapacity != want {
+			t.Errorf("%s/%v: SpecCapacity = %d, want %d", r.Workload, r.Params.Mode, r.Params.SpecCapacity, want)
+		}
+	}
+}
+
+func TestExpandRejectsUnknownWorkloadAndMode(t *testing.T) {
+	s := Spec{Name: "bad", Workloads: []string{"bogus"}}
+	if _, err := s.Expand(sim.DefaultParams()); err == nil {
+		t.Error("unknown workload must fail expansion")
+	}
+	s = Spec{Name: "bad", Workloads: []string{"counter"}, Modes: []string{"chaotic"}}
+	if _, err := s.Expand(sim.DefaultParams()); err == nil {
+		t.Error("unknown mode must fail expansion")
+	}
+}
+
+func TestExpandSpecialWorkloadSets(t *testing.T) {
+	for name, want := range map[string]int{"all": 15, "paper": 14, "figure1": 8} {
+		s := Spec{Name: name, Workloads: []string{name}}
+		runs, err := s.Expand(sim.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != want {
+			t.Errorf("%q expands to %d runs, want %d", name, len(runs), want)
+		}
+	}
+}
+
+func TestParamPatchApply(t *testing.T) {
+	ivb := 4
+	dram := int64(250)
+	ideal := true
+	p := sim.DefaultParams()
+	patch := ParamPatch{IVBEntries: &ivb, DRAM: &dram, IdealUnlimited: &ideal}
+	patch.Apply(&p)
+	if p.Retcon.IVBEntries != 4 || p.DRAM != 250 || !p.IdealUnlimited {
+		t.Errorf("patch not applied: %+v", p)
+	}
+	// Untouched fields keep defaults.
+	if p.L1Bytes != sim.DefaultParams().L1Bytes {
+		t.Error("unpatched field modified")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]sim.Mode{
+		"eager": sim.Eager, "EAGER": sim.Eager,
+		"lazy-vb": sim.LazyVB, "lazyvb": sim.LazyVB, "lazy_vb": sim.LazyVB,
+		"retcon": sim.RetCon, "RetCon": sim.RetCon,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("optimistic"); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, err := s.Expand(sim.DefaultParams())
+		if err != nil {
+			t.Fatalf("preset %q does not expand: %v", name, err)
+		}
+		if len(runs) == 0 {
+			t.Errorf("preset %q expands to zero runs", name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset must error")
+	}
+}

@@ -1,0 +1,224 @@
+// Package sweep is the concurrent experiment-sweep engine: it expands a
+// declarative Spec (workload × mode × cores × seed, plus per-axis
+// sim.Params overrides) into independent Runs, executes them across a
+// bounded pool of worker goroutines, and flattens each outcome into a
+// stable Record for structured sinks (JSON lines, CSV, text tables — the
+// encoders live in internal/report).
+//
+// Determinism guarantees:
+//
+//   - Expansion is deterministic: a Spec always expands to the same Runs
+//     in the same order (workload-major, then mode, cores, seed).
+//   - Each Run carries its own explicit seed; nothing derives seeds from
+//     wall-clock time or scheduling order.
+//   - The simulator itself is single-goroutine per run and fully
+//     deterministic, and runs share no mutable state, so executing a grid
+//     on 1 worker or N workers produces identical per-run results.
+//   - Engine.ExecuteStream delivers outcomes in Run order (not completion
+//     order), so streamed output files are byte-stable across pool sizes.
+//
+// Identical configurations — within one spec or across merged specs — are
+// deduplicated before execution: every duplicate Run is simulated once and
+// all aliases share the one result.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Run is one fully-expanded simulation: a workload instance under a
+// complete machine configuration. Params embeds the mode and core count.
+type Run struct {
+	Spec     string // owning spec name (labels records; not part of identity)
+	Workload string
+	Seed     int64
+	Params   sim.Params
+}
+
+// key is the identity of a run for deduplication. sim.Params is a flat
+// comparable struct, so the whole configuration participates.
+type key struct {
+	Workload string
+	Seed     int64
+	Params   sim.Params
+}
+
+func (r Run) key() key { return key{r.Workload, r.Seed, r.Params} }
+
+// Outcome is a completed (or failed) run.
+type Outcome struct {
+	Run Run
+	Res *sim.Result // nil iff Err != nil
+	Err error
+}
+
+// Record is the flattened, stable-schema form of an outcome for
+// structured sinks. Field order here is the CSV column order.
+type Record struct {
+	Spec     string  `json:"spec,omitempty"`
+	Workload string  `json:"workload"`
+	Mode     string  `json:"mode"`
+	Cores    int     `json:"cores"`
+	Seed     int64   `json:"seed"`
+	Cycles   int64   `json:"cycles"`
+	Instrs   int64   `json:"instrs"`
+	Commits  int64   `json:"commits"`
+	Aborts   int64   `json:"aborts"`
+	Nacks    int64   `json:"nacks"`
+	Busy     float64 `json:"busy_frac"`
+	Barrier  float64 `json:"barrier_frac"`
+	Conflict float64 `json:"conflict_frac"`
+	Other    float64 `json:"other_frac"`
+	// BaselineCycles and Speedup are filled by AttachSpeedups when the
+	// sweep includes 1-core eager baselines; zero otherwise.
+	BaselineCycles int64   `json:"baseline_cycles,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	Err            string  `json:"error,omitempty"`
+}
+
+// Record flattens the outcome.
+func (o Outcome) Record() Record {
+	rec := Record{
+		Spec:     o.Run.Spec,
+		Workload: o.Run.Workload,
+		Mode:     o.Run.Params.Mode.String(),
+		Cores:    o.Run.Params.Cores,
+		Seed:     o.Run.Seed,
+	}
+	if o.Err != nil {
+		rec.Err = o.Err.Error()
+		return rec
+	}
+	t := o.Res.Totals()
+	bd := o.Res.Breakdown()
+	rec.Cycles = o.Res.Cycles
+	rec.Instrs = t.Instrs
+	rec.Commits = t.Commits
+	rec.Aborts = t.Aborts
+	rec.Nacks = t.Nacks
+	rec.Busy = bd[sim.CatBusy]
+	rec.Barrier = bd[sim.CatBarrier]
+	rec.Conflict = bd[sim.CatConflict]
+	rec.Other = bd[sim.CatOther]
+	return rec
+}
+
+// baseline returns the run's 1-core eager counterpart: same workload,
+// seed and machine parameters, with only the mode and core count reset.
+func (r Run) baseline() Run {
+	b := r
+	b.Params.Mode = sim.Eager
+	b.Params.Cores = 1
+	return b
+}
+
+// Baselines returns the 1-core eager baseline run for each distinct
+// (workload, seed, machine) in runs, preserving first-appearance order.
+// Executing these (the engine deduplicates) gives BaselineIndex its
+// denominators.
+func Baselines(runs []Run) []Run {
+	seen := make(map[key]bool)
+	var out []Run
+	for _, r := range runs {
+		b := r.baseline()
+		if k := b.key(); !seen[k] {
+			seen[k] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BaselineIndex resolves a run's 1-core eager baseline cycles. Baselines
+// are keyed by their full configuration (workload, seed AND machine
+// parameters), so sweeps mixing several machine configurations for the
+// same workload normalize each run against its own machine.
+type BaselineIndex struct {
+	cycles map[key]int64
+}
+
+// NewBaselineIndex indexes executed baseline outcomes (failed ones are
+// skipped and simply leave their runs without a speedup).
+func NewBaselineIndex(baselines []Outcome) *BaselineIndex {
+	ix := &BaselineIndex{cycles: make(map[key]int64, len(baselines))}
+	for _, o := range baselines {
+		ix.Add(o)
+	}
+	return ix
+}
+
+// Add indexes one executed baseline outcome (failed outcomes are skipped).
+func (ix *BaselineIndex) Add(o Outcome) {
+	if o.Err == nil {
+		ix.cycles[o.Run.key()] = o.Res.Cycles
+	}
+}
+
+// Attach fills rec's BaselineCycles and Speedup from run's baseline, if
+// the index has it. rec must be run's record.
+func (ix *BaselineIndex) Attach(rec *Record, run Run) {
+	if rec.Err != "" || rec.Cycles <= 0 {
+		return
+	}
+	if bc, ok := ix.cycles[run.baseline().key()]; ok {
+		rec.BaselineCycles = bc
+		rec.Speedup = float64(bc) / float64(rec.Cycles)
+	}
+}
+
+// UniqueCount returns the number of distinct configurations in runs —
+// what the engine will actually simulate after deduplication.
+func UniqueCount(runs []Run) int {
+	seen := make(map[key]bool, len(runs))
+	for _, r := range runs {
+		seen[r.key()] = true
+	}
+	return len(seen)
+}
+
+// ParseMode parses a spec-file mode name. Accepted spellings (case- and
+// punctuation-insensitive): "eager", "lazy-vb", "retcon".
+func ParseMode(s string) (sim.Mode, error) {
+	switch strings.ToLower(strings.NewReplacer("-", "", "_", "").Replace(strings.TrimSpace(s))) {
+	case "eager":
+		return sim.Eager, nil
+	case "lazyvb", "lazy":
+		return sim.LazyVB, nil
+	case "retcon":
+		return sim.RetCon, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown mode %q (want eager, lazy-vb or retcon)", s)
+}
+
+// AllModes is the full mode axis in the paper's order.
+func AllModes() []sim.Mode { return []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} }
+
+// runOne executes a single run: build the workload bundle, simulate, and
+// verify the final memory image against the workload's atomicity
+// invariants (the same oracle the root retcon.Run applies).
+func runOne(r Run) (*sim.Result, error) {
+	w, err := workloads.Lookup(r.Workload)
+	if err != nil {
+		return nil, err
+	}
+	bundle := w.Build(r.Params.Cores, r.Seed)
+	machine, err := sim.New(r.Params, bundle.Mem, bundle.Programs)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
+	}
+	if bundle.Verify != nil {
+		if err := bundle.Verify(bundle.Mem); err != nil {
+			return nil, fmt.Errorf("sweep: %s (%v, %d cores, seed %d): %w",
+				r.Workload, r.Params.Mode, r.Params.Cores, r.Seed, err)
+		}
+	}
+	return res, nil
+}

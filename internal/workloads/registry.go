@@ -4,6 +4,8 @@ import "fmt"
 
 // All returns the evaluation workloads in the paper's presentation order
 // (Table 2 / Figure 9 x-axis), followed by the counter microbenchmark.
+// Each call constructs fresh values with the default input sizes, so
+// callers may mutate or Build them without affecting other callers.
 func All() []Workload {
 	return []Workload{
 		DefaultGenome(),

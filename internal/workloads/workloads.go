@@ -7,6 +7,37 @@
 // and supplies a verifier that checks atomicity invariants against the
 // final memory image — the correctness oracle for the HTM and for RETCON's
 // repair. DESIGN.md documents how each kernel maps to its STAMP original.
+//
+// # Kernels
+//
+// Nine kernel families expand to the registry's fifteen named variants
+// ("-sz" = resizable container with a shared size field, "_opt" = the
+// paper's software restructuring):
+//
+//	genome     genome, genome-sz                        hash-set deduplication
+//	intruder   intruder, intruder_opt, intruder_opt-sz  packet reassembly, shared queues/map
+//	kmeans     kmeans                                   clustering, accumulator updates
+//	labyrinth  labyrinth                                grid routing, cell claims
+//	ssca2      ssca2                                    graph edge appends
+//	vacation   vacation, vacation_opt, vacation_opt-sz  reservations over BST / hashtable
+//	yada       yada                                     mesh refinement, pointer splices
+//	python     python, python_opt                       cpython GIL elision, refcounts
+//	counter    counter                                  Figure 2 shared-counter microbenchmark
+//
+// (hashtable.go is the shared open-addressing table used by genome,
+// intruder and vacation_opt, not a workload itself.)
+//
+// # Registry semantics and determinism
+//
+// All returns freshly constructed Workload values in the paper's
+// presentation order on every call, and Lookup resolves the paper names;
+// workloads carry no state between Build calls. Build(threads, seed) is
+// fully deterministic: the same (threads, seed) pair always yields the
+// same memory image and programs, the total work is independent of the
+// thread count (the 1-thread build is the sequential baseline), and all
+// randomness flows from the explicit seed through a split-mix generator —
+// never from time, map order or scheduling. Bundles share no mutable
+// state, so distinct runs may be simulated concurrently.
 package workloads
 
 import (

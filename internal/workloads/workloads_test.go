@@ -50,6 +50,9 @@ func runBundle(t *testing.T, b *Bundle, mode sim.Mode, cores int) *sim.Result {
 // every conflict-handling mode, at several machine sizes, must produce a
 // final memory image satisfying its atomicity invariants.
 func TestAllWorkloadsVerifyAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mode×cores verification grid; run without -short")
+	}
 	for _, w := range small() {
 		for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
 			for _, cores := range []int{1, 4, 8} {
@@ -66,6 +69,9 @@ func TestAllWorkloadsVerifyAllModes(t *testing.T) {
 // TestWorkloadsVerifyAcrossSeeds runs the RETCON configuration over
 // several input seeds — different conflict interleavings every time.
 func TestWorkloadsVerifyAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed verification sweep; run without -short")
+	}
 	for _, w := range small() {
 		for seed := int64(1); seed <= 4; seed++ {
 			b := w.Build(6, seed)

@@ -1,0 +1,55 @@
+package retcon
+
+import (
+	"repro/internal/sweep"
+)
+
+// Sweep re-exports: the concurrent experiment-sweep engine of
+// internal/sweep, which expands declarative specs into run grids and
+// executes them across a bounded worker pool with deterministic per-run
+// seeds and deterministic (run-order) result delivery. cmd/retcon-sweep
+// is the CLI front end; README.md documents the spec format.
+
+// SweepSpec is a declarative experiment grid (workload × mode × cores ×
+// seed, plus sparse Params overrides).
+type SweepSpec = sweep.Spec
+
+// SweepRun is one fully-expanded simulation configuration.
+type SweepRun = sweep.Run
+
+// SweepOutcome is one completed (or failed) sweep run.
+type SweepOutcome = sweep.Outcome
+
+// SweepRecord is the flattened, stable-schema result row for structured
+// output (JSONL / CSV).
+type SweepRecord = sweep.Record
+
+// SweepEngine executes runs over a bounded pool of worker goroutines.
+type SweepEngine = sweep.Engine
+
+// LoadSweepSpecs reads a JSON spec file (one spec object or an array).
+func LoadSweepSpecs(path string) ([]SweepSpec, error) { return sweep.LoadSpecFile(path) }
+
+// SweepPreset returns the named ready-made spec (see SweepPresetNames).
+func SweepPreset(name string) (SweepSpec, error) { return sweep.Preset(name) }
+
+// SweepPresetNames lists the available presets.
+func SweepPresetNames() []string { return sweep.PresetNames() }
+
+// ExpandSweep expands specs over a base machine configuration into the
+// deterministic run order.
+func ExpandSweep(specs []SweepSpec, base Config) ([]SweepRun, error) {
+	return sweep.ExpandAll(specs, base)
+}
+
+// RunSweep expands and executes specs over the default machine with the
+// given worker-pool size (<= 0 means GOMAXPROCS), returning one outcome
+// per expanded run in run order.
+func RunSweep(specs []SweepSpec, workers int) ([]SweepOutcome, error) {
+	runs, err := ExpandSweep(specs, DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	eng := SweepEngine{Workers: workers}
+	return eng.Execute(runs), nil
+}
