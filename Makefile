@@ -4,12 +4,14 @@
 #   make vet         go vet, must stay clean
 #   make test        the tier-1 gate: build + full test suite
 #   make test-short  quick iteration loop (skips the slow verification grids)
+#   make race        full test suite under the race detector
 #   make ci          what CI runs: vet + full tests
-#   make bench       regenerate the paper's figures and tables concurrently
+#   make bench       time the cycle loop under both schedulers -> BENCH_sim.json
+#   make paperbench  regenerate the paper's figures and tables concurrently
 
 GO ?= go
 
-.PHONY: build vet test test-short ci bench
+.PHONY: build vet test test-short race ci bench paperbench
 
 build:
 	$(GO) build ./...
@@ -23,7 +25,16 @@ test: build
 test-short: build
 	$(GO) test -short ./...
 
+race: build
+	$(GO) test -race ./...
+
 ci: vet test
 
+# The simulator's own perf trajectory: lockstep vs event-driven scheduler
+# wall-clock on stall-heavy configurations, recorded at the repo root so
+# every PR that moves the cycle loop also moves the committed record.
 bench: build
+	$(GO) run ./cmd/simbench -out BENCH_sim.json
+
+paperbench: build
 	$(GO) run ./cmd/paperbench

@@ -151,6 +151,29 @@ func BenchmarkIdealizedRetcon(b *testing.B) {
 	report.WriteIdeal(os.Stdout, rows)
 }
 
+// BenchmarkScheduler pits the event-driven time-skip scheduler against
+// the lockstep oracle on a stall-heavy configuration (counter at 8
+// cores: NACK retries, abort backoffs, DRAM misses). cmd/simbench runs
+// the full comparison grid and records BENCH_sim.json via `make bench`.
+func BenchmarkScheduler(b *testing.B) {
+	w, err := retcon.LookupWorkload("counter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []retcon.SchedKind{retcon.SchedLockstep, retcon.SchedEvent} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := retcon.DefaultConfig()
+			cfg.Cores = 8
+			cfg.Sched = kind
+			for i := 0; i < b.N; i++ {
+				if _, err := retcon.Run(w, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (core-cycles per second) on the genome workload — useful when tuning
 // the simulator itself.

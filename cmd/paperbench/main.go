@@ -32,10 +32,18 @@ func main() {
 	cores := flag.Int("cores", 32, "number of simulated cores")
 	seed := flag.Int64("seed", 1, "workload input seed")
 	workers := flag.Int("workers", 0, "simulation worker-pool size (default: GOMAXPROCS)")
+	schedStr := flag.String("sched", "event", "cycle-loop scheduler: event (time-skip) or lockstep (reference oracle)")
 	flag.Parse()
+
+	sched, err := retcon.ParseSched(*schedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
 
 	cfg := retcon.DefaultConfig()
 	cfg.Cores = *cores
+	cfg.Sched = sched
 	h := report.NewHarness(cfg)
 	h.Seed = *seed
 	h.Workers = *workers

@@ -22,6 +22,7 @@ import (
 func main() {
 	name := flag.String("workload", "counter", "workload name (see -list)")
 	modeStr := flag.String("mode", "eager", "conflict handling: eager, lazy-vb or retcon")
+	schedStr := flag.String("sched", "event", "cycle-loop scheduler: event (time-skip) or lockstep (reference oracle)")
 	cores := flag.Int("cores", 32, "number of simulated cores")
 	seed := flag.Int64("seed", 1, "workload input seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
@@ -49,6 +50,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	sched, err := retcon.ParseSched(*schedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+		os.Exit(2)
+	}
+
 	w, err := retcon.LookupWorkload(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "retcon-sim:", err)
@@ -58,6 +65,7 @@ func main() {
 	cfg := retcon.DefaultConfig()
 	cfg.Cores = *cores
 	cfg.Mode = mode
+	cfg.Sched = sched
 	var res *retcon.Result
 	if *trace {
 		res, err = retcon.RunTraced(w, cfg, *seed, os.Stdout)
@@ -71,7 +79,7 @@ func main() {
 
 	tot := res.Sim.Totals()
 	fmt.Printf("workload  %s (%s)\n", w.Name(), w.Description())
-	fmt.Printf("machine   %d cores, mode %v\n", *cores, mode)
+	fmt.Printf("machine   %d cores, mode %v, sched %v\n", *cores, mode, sched)
 	fmt.Printf("cycles    %d\n", res.Cycles)
 	fmt.Printf("instrs    %d\n", tot.Instrs)
 	fmt.Printf("commits   %d   aborts %d   nacks %d   overflows %d\n",

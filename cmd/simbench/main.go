@@ -1,0 +1,150 @@
+// Command simbench records the simulator's own performance trajectory:
+// wall-clock timings of the cycle loop under the lockstep reference
+// scheduler and the event-driven time-skip scheduler, on stall-heavy
+// configurations where time skipping matters. `make bench` runs it and
+// writes BENCH_sim.json at the repository root, so the trajectory is
+// versioned alongside the code that moved it.
+//
+// Every timed pair doubles as a differential check: the two schedulers'
+// Results must be deeply equal or simbench exits non-zero.
+//
+// Usage:
+//
+//	simbench                      # summary table to stdout
+//	simbench -out BENCH_sim.json  # also write the JSON record
+//	simbench -reps 5              # best-of-5 timings
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// cases are the timed configurations: stall-heavy machines (NACK retries,
+// abort backoffs, DRAM misses, barrier imbalance) where the event
+// scheduler's time skipping pays, plus one busy-dominated control.
+var cases = []struct {
+	workload string
+	mode     sim.Mode
+	cores    int
+}{
+	{"counter", sim.Eager, 8},
+	{"counter", sim.RetCon, 16},
+	{"labyrinth", sim.Eager, 8},
+	{"labyrinth", sim.Eager, 64},
+	{"ssca2", sim.Eager, 64},
+	{"yada", sim.Eager, 64},
+	{"python_opt", sim.RetCon, 32},
+	{"genome", sim.Eager, 32}, // busy-dominated control: little to skip
+}
+
+// Entry is one configuration's timing record.
+type Entry struct {
+	Workload   string  `json:"workload"`
+	Mode       string  `json:"mode"`
+	Cores      int     `json:"cores"`
+	Seed       int64   `json:"seed"`
+	Cycles     int64   `json:"cycles"`
+	LockstepMS float64 `json:"lockstep_ms"`
+	EventMS    float64 `json:"event_ms"`
+	Speedup    float64 `json:"speedup"` // lockstep_ms / event_ms
+}
+
+// File is the BENCH_sim.json schema.
+type File struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	Reps      int     `json:"reps"`
+	Entries   []Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON record to this file (e.g. BENCH_sim.json)")
+	reps := flag.Int("reps", 3, "repetitions per configuration (best time wins)")
+	seed := flag.Int64("seed", 1, "workload input seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+
+	rec := File{Schema: "retcon-simbench/v1", GoVersion: runtime.Version(), Reps: *reps}
+	fmt.Printf("%-12s %-8s %5s %14s %12s %12s %8s\n",
+		"workload", "mode", "cores", "cycles", "lockstep", "event", "speedup")
+	for _, c := range cases {
+		w, err := workloads.Lookup(c.workload)
+		if err != nil {
+			fail(err)
+		}
+		var times [2]time.Duration // indexed by SchedKind
+		var results [2]*sim.Result
+		for _, kind := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				bundle := w.Build(c.cores, *seed)
+				p := sim.DefaultParams()
+				p.Cores = c.cores
+				p.Mode = c.mode
+				p.Sched = kind
+				m, err := sim.New(p, bundle.Mem, bundle.Programs)
+				if err != nil {
+					fail(err)
+				}
+				start := time.Now()
+				res, err := m.Run()
+				elapsed := time.Since(start)
+				if err != nil {
+					fail(fmt.Errorf("%s/%v/%d sched=%v: %w", c.workload, c.mode, c.cores, kind, err))
+				}
+				if bundle.Verify != nil {
+					if err := bundle.Verify(bundle.Mem); err != nil {
+						fail(fmt.Errorf("%s/%v/%d sched=%v: %w", c.workload, c.mode, c.cores, kind, err))
+					}
+				}
+				if best == 0 || elapsed < best {
+					best = elapsed
+				}
+				results[kind] = res
+			}
+			times[kind] = best
+		}
+		if !reflect.DeepEqual(results[sim.SchedLockstep], results[sim.SchedEvent]) {
+			fail(fmt.Errorf("%s/%v/%d: schedulers produced different Results", c.workload, c.mode, c.cores))
+		}
+		e := Entry{
+			Workload:   c.workload,
+			Mode:       c.mode.String(),
+			Cores:      c.cores,
+			Seed:       *seed,
+			Cycles:     results[sim.SchedEvent].Cycles,
+			LockstepMS: float64(times[sim.SchedLockstep].Microseconds()) / 1000,
+			EventMS:    float64(times[sim.SchedEvent].Microseconds()) / 1000,
+		}
+		if e.EventMS > 0 {
+			e.Speedup = e.LockstepMS / e.EventMS
+		}
+		rec.Entries = append(rec.Entries, e)
+		fmt.Printf("%-12s %-8s %5d %14d %10.1fms %10.1fms %7.2fx\n",
+			e.Workload, e.Mode, e.Cores, e.Cycles, e.LockstepMS, e.EventMS, e.Speedup)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

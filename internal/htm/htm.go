@@ -19,36 +19,44 @@ type SpecBits struct {
 // permissions-only cache; on the paper's workloads it never fills (the
 // simulator records an overflow statistic and aborts the transaction if it
 // ever does, mirroring a OneTM fallback without modeling its serialized
-// mode).
+// mode). Entries are stored by value — conflict checks run on every
+// coherence request, so the per-block pointer chase (and allocation)
+// would sit directly on the simulator's hottest path.
 type SpecSet struct {
-	bits map[int64]*SpecBits
+	bits map[int64]SpecBits
 	cap  int
 }
 
 // NewSpecSet creates a SpecSet with the given block capacity.
 func NewSpecSet(capacity int) *SpecSet {
-	return &SpecSet{bits: make(map[int64]*SpecBits), cap: capacity}
+	return &SpecSet{bits: make(map[int64]SpecBits), cap: capacity}
 }
 
-// Get returns the bits for block, or nil.
-func (s *SpecSet) Get(block int64) *SpecBits { return s.bits[block] }
+// Get returns the bits for block and whether any are set.
+func (s *SpecSet) Get(block int64) (SpecBits, bool) {
+	b, ok := s.bits[block]
+	return b, ok
+}
+
+// Has reports whether block has any speculative bits set.
+func (s *SpecSet) Has(block int64) bool {
+	_, ok := s.bits[block]
+	return ok
+}
 
 // Mark sets the read or written bit for block. It reports false when the
 // set is full and the block is not already present (overflow).
 func (s *SpecSet) Mark(block int64, write bool) bool {
-	b := s.bits[block]
-	if b == nil {
-		if len(s.bits) >= s.cap {
-			return false
-		}
-		b = &SpecBits{}
-		s.bits[block] = b
+	b, ok := s.bits[block]
+	if !ok && len(s.bits) >= s.cap {
+		return false
 	}
 	if write {
 		b.Written = true
 	} else {
 		b.Read = true
 	}
+	s.bits[block] = b
 	return true
 }
 
@@ -63,7 +71,7 @@ func (s *SpecSet) Clear() {
 }
 
 // Blocks calls fn for every block with bits set.
-func (s *SpecSet) Blocks(fn func(block int64, b *SpecBits)) {
+func (s *SpecSet) Blocks(fn func(block int64, b SpecBits)) {
 	for k, v := range s.bits {
 		fn(k, v)
 	}

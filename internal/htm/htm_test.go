@@ -18,15 +18,15 @@ func TestSpecSetMarkAndCapacity(t *testing.T) {
 	if s.Mark(3, false) {
 		t.Fatal("third block must overflow")
 	}
-	b := s.Get(1)
-	if b == nil || !b.Read || !b.Written {
+	b, ok := s.Get(1)
+	if !ok || !b.Read || !b.Written {
 		t.Errorf("bits for block 1: %+v", b)
 	}
 	if s.Len() != 2 {
 		t.Errorf("Len = %d, want 2", s.Len())
 	}
 	s.Clear()
-	if s.Len() != 0 || s.Get(1) != nil {
+	if _, ok := s.Get(1); s.Len() != 0 || ok {
 		t.Error("Clear must empty the set")
 	}
 }

@@ -133,7 +133,8 @@ func (m *Machine) commitRepair(c *Core) {
 }
 
 // finishCommit makes the transaction permanent and stalls the core for the
-// repair latency.
+// repair latency — under the event scheduler that stall is a single wake
+// event whose cycles are bulk-attributed, not stepped.
 func (m *Machine) finishCommit(c *Core, repairLat, txCycles int64) {
 	if m.traceEnabled() {
 		m.trace(c, "commit  ts=%d lifetime=%d cycles", c.Tx.TS, txCycles)

@@ -106,10 +106,12 @@ func (m *Machine) exec(c *Core) {
 		c.addCycle(CatBarrier)
 		c.barrierWait = true
 		m.barrierArrived++
+		m.syncDirty = true
 		c.PC++
 
 	case isa.Halt:
 		c.halted = true
+		m.syncDirty = true // a halt shrinks the live count the barrier waits on
 
 	default:
 		panic(fmt.Sprintf("sim: core %d unknown opcode %v at pc %d", c.ID, in.Op, c.PC))

@@ -31,6 +31,13 @@ type Core struct {
 	stallUntil  int64 // core is stalled while Now <= stallUntil
 	stallCat    Category
 
+	// attributedUntil is the last cycle this core has accounted for under
+	// the event scheduler's lazy attribution, and scheduledWake the cycle
+	// of its one live schedule entry (see sched.go). The lockstep
+	// scheduler attributes eagerly and ignores both.
+	attributedUntil int64
+	scheduledWake   int64
+
 	Stats  CoreStats
 	RetAgg RetconAgg
 }
@@ -48,6 +55,17 @@ type Machine struct {
 	targetsBuf     []int
 	blockKeysBuf   []int64
 	traceW         io.Writer
+
+	sched    Scheduler
+	lazyAttr bool // event scheduler active: stall/barrier cycles attribute lazily
+	execID   int  // ID of the core currently executing (valid under lazyAttr)
+	// pendingWakes are cores rescheduled mid-cycle (remote abort, barrier
+	// release); the event scheduler adopts them after the cycle's batch.
+	pendingWakes []int
+	// syncDirty is set when an executed instruction may have changed the
+	// barrier-release condition (a BARRIER arrival or a HALT); the release
+	// check runs only on such cycles instead of every cycle.
+	syncDirty bool
 }
 
 // New builds a machine running the given per-core programs over the given
@@ -79,21 +97,23 @@ func New(p Params, img *mem.Image, progs []*isa.Program) (*Machine, error) {
 		}
 		m.Cores = append(m.Cores, c)
 	}
+	m.sched = newScheduler(p.Sched)
 	return m, nil
 }
+
+// SetScheduler replaces the cycle-loop scheduler selected by P.Sched —
+// the plug point for custom Scheduler implementations. Call before Run.
+func (m *Machine) SetScheduler(s Scheduler) { m.sched = s }
 
 // Run simulates until every core halts, returning the result. It fails if
 // the cycle watchdog expires (a deadlocked or livelocked configuration,
 // which indicates a bug — the contention policy guarantees progress).
+// The cycle loop is driven by the scheduler chosen in P.Sched: the
+// event-driven time-skip scheduler by default, or the lockstep reference
+// oracle; both produce identical Results.
 func (m *Machine) Run() (*Result, error) {
-	for {
-		if m.allHalted() {
-			break
-		}
-		if m.Now >= m.P.MaxCycles {
-			return nil, fmt.Errorf("sim: watchdog expired after %d cycles (pc=%v)", m.Now, m.pcs())
-		}
-		m.Step()
+	if err := m.sched.Run(m); err != nil {
+		return nil, err
 	}
 	res := &Result{Cycles: m.Now, Cores: m.P.Cores, Mode: m.P.Mode}
 	for _, c := range m.Cores {
@@ -114,12 +134,16 @@ func mergeAgg(dst, src *RetconAgg) {
 	dst.SumTxCycles += src.SumTxCycles
 	dst.ConstraintViolations += src.ConstraintViolations
 	dst.StructureOverflowAborts += src.StructureOverflowAborts
-	max64(&dst.MaxLost, src.MaxLost)
-	max64(&dst.MaxTracked, src.MaxTracked)
-	max64(&dst.MaxRegs, src.MaxRegs)
-	max64(&dst.MaxStores, src.MaxStores)
-	max64(&dst.MaxConstraints, src.MaxConstraints)
-	max64(&dst.MaxCommitCycles, src.MaxCommitCycles)
+	dst.MaxLost = max(dst.MaxLost, src.MaxLost)
+	dst.MaxTracked = max(dst.MaxTracked, src.MaxTracked)
+	dst.MaxRegs = max(dst.MaxRegs, src.MaxRegs)
+	dst.MaxStores = max(dst.MaxStores, src.MaxStores)
+	dst.MaxConstraints = max(dst.MaxConstraints, src.MaxConstraints)
+	dst.MaxCommitCycles = max(dst.MaxCommitCycles, src.MaxCommitCycles)
+}
+
+func (m *Machine) watchdogErr() error {
+	return fmt.Errorf("sim: watchdog expired after %d cycles (pc=%v)", m.Now, m.pcs())
 }
 
 func (m *Machine) allHalted() bool {
@@ -139,13 +163,13 @@ func (m *Machine) pcs() []int {
 	return out
 }
 
-// Step advances the machine by one cycle.
+// Step advances the machine by one lockstep cycle.
 func (m *Machine) Step() {
 	m.Now++
 	for _, c := range m.Cores {
 		m.stepCore(c)
 	}
-	m.releaseBarrier()
+	m.maybeReleaseBarrier()
 }
 
 func (m *Machine) stepCore(c *Core) {
@@ -160,7 +184,16 @@ func (m *Machine) stepCore(c *Core) {
 	}
 }
 
-func (m *Machine) releaseBarrier() {
+// maybeReleaseBarrier checks the barrier-release condition, but only on
+// cycles where an executed BARRIER or HALT could have changed it: the
+// condition depends solely on the arrival count and the number of live
+// cores, both of which change only through execution, so idle cycles
+// cannot newly satisfy it.
+func (m *Machine) maybeReleaseBarrier() {
+	if !m.syncDirty {
+		return
+	}
+	m.syncDirty = false
 	if m.barrierArrived == 0 {
 		return
 	}
@@ -174,6 +207,14 @@ func (m *Machine) releaseBarrier() {
 		return
 	}
 	for _, c := range m.Cores {
+		if c.barrierWait && m.lazyAttr {
+			// The wait ends this cycle: charge the whole wait (through the
+			// release cycle, as lockstep would) before clearing the flag,
+			// and schedule the core for the next cycle.
+			m.settle(c, m.Now)
+			c.scheduledWake = m.Now + 1
+			m.pendingWakes = append(m.pendingWakes, c.ID)
+		}
 		c.barrierWait = false
 	}
 	m.barrierArrived = 0
@@ -206,6 +247,19 @@ func (c *Core) setStall(until int64, cat Category) {
 // (remote abort): the pending operation's effects were applied atomically
 // at issue and are undone here.
 func (m *Machine) abort(c *Core, blameBlock int64) {
+	if m.lazyAttr && c.ID != m.execID {
+		// Remote abort under lazy attribution: bring the victim's accounting
+		// to exactly the point the lockstep stepper would have reached this
+		// cycle — a victim with a smaller ID was already stepped (its current
+		// cycle went to the old category, and into the accumulators about to
+		// be reattributed), a larger one was not (its current cycle will fall
+		// under the conflict stall set below).
+		if c.ID < m.execID {
+			m.settle(c, m.Now)
+		} else {
+			m.settle(c, m.Now-1)
+		}
+	}
 	c.Stats.Cycles[CatBusy] -= c.Tx.AccumBusy
 	c.Stats.Cycles[CatOther] -= c.Tx.AccumOther
 	c.Stats.Cycles[CatConflict] += c.Tx.AccumBusy + c.Tx.AccumOther
@@ -221,15 +275,16 @@ func (m *Machine) abort(c *Core, blameBlock int64) {
 	if m.traceEnabled() {
 		m.trace(c, "abort   attempt=%d blame=block %#x, restart pc=%d", c.Tx.Aborts, blameBlock, c.PC)
 	}
-	backoff := m.P.AbortBackoffBase * int64(minInt(c.Tx.Aborts, 8))
+	backoff := m.P.AbortBackoffBase * int64(min(c.Tx.Aborts, 8))
 	c.setStall(m.Now+backoff, CatConflict)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
+	if m.lazyAttr && c.ID != m.execID {
+		// The backoff replaces whatever wake the victim had scheduled (it
+		// may end earlier than the stall it cuts short): hand the event
+		// scheduler the new one. The executing core reschedules itself
+		// after its turn.
+		c.scheduledWake = c.stallUntil + 1
+		m.pendingWakes = append(m.pendingWakes, c.ID)
 	}
-	return b
 }
 
 // nextTS returns a fresh transaction timestamp.

@@ -46,8 +46,8 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 		if hc.Ret.Tracked(block) != nil {
 			continue // symbolically tracked: released without conflict
 		}
-		sb := hc.Tx.Spec.Get(block)
-		if sb == nil {
+		sb, ok := hc.Tx.Spec.Get(block)
+		if !ok {
 			continue
 		}
 		hazard := sb.Written || (isWrite && sb.Read)
@@ -82,7 +82,7 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 				}
 			}
 		} else if hc.Tx.Active {
-			if sb := hc.Tx.Spec.Get(block); sb != nil && (sb.Written || (isWrite && sb.Read)) {
+			if sb, ok := hc.Tx.Spec.Get(block); ok && (sb.Written || (isWrite && sb.Read)) {
 				m.abort(hc, block)
 			}
 		}
@@ -205,7 +205,7 @@ func (m *Machine) load(c *Core, addr int64, size uint8) (val int64, sym core.Sym
 		}
 		// Initial symbolic load: predictor-selected block with no
 		// speculative bits yet (Figure 6, third path).
-		if c.Pred.Tracks(block) && c.Tx.Spec.Get(block) == nil {
+		if c.Pred.Tracks(block) && !c.Tx.Spec.Has(block) {
 			alat, ast := m.memAccess(c, block, false, false, true)
 			if ast != accessOK {
 				return 0, core.SymVal{}, 0, ast

@@ -43,6 +43,12 @@ type Params struct {
 	Cores int
 	Mode  Mode
 
+	// Sched selects the cycle-loop scheduler: the event-driven time-skip
+	// scheduler (SchedEvent, the zero value and default) or the lockstep
+	// reference oracle (SchedLockstep). Both produce identical Results;
+	// see sched.go.
+	Sched SchedKind
+
 	// Cache hierarchy (per core, private).
 	L1Bytes int64
 	L2Bytes int64
@@ -127,6 +133,9 @@ func (p *Params) Validate() error {
 	}
 	if p.Mode < Eager || p.Mode > RetCon {
 		return fmt.Errorf("sim: invalid mode %d", p.Mode)
+	}
+	if p.Sched < SchedEvent || p.Sched > SchedLockstep {
+		return fmt.Errorf("sim: invalid scheduler %d", p.Sched)
 	}
 	if p.MemBytes < 1<<12 {
 		return fmt.Errorf("sim: memory too small (%d bytes)", p.MemBytes)

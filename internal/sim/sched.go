@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// neverWakes is the wake time of a core with no timed wake event; it is
+// above any reachable MaxCycles, so it always trips the watchdog branch.
+const neverWakes = int64(math.MaxInt64)
+
+// SchedKind selects the machine's cycle-loop scheduler.
+type SchedKind int
+
+// Scheduler kinds.
+const (
+	// SchedEvent is the event-driven time-skip scheduler (the default):
+	// when no core can execute this cycle, Now jumps straight to the
+	// earliest wake event and the skipped cycles are bulk-attributed.
+	SchedEvent SchedKind = iota
+	// SchedLockstep is the cycle-by-cycle reference scheduler, retained
+	// in-tree as the differential-testing oracle.
+	SchedLockstep
+)
+
+// String returns the scheduler's flag name.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedEvent:
+		return "event"
+	case SchedLockstep:
+		return "lockstep"
+	}
+	return fmt.Sprintf("sched(%d)", int(k))
+}
+
+// ParseSched parses a scheduler name: "event" or "lockstep".
+func ParseSched(s string) (SchedKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "event", "":
+		return SchedEvent, nil
+	case "lockstep":
+		return SchedLockstep, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want event or lockstep)", s)
+}
+
+// Scheduler drives the machine's cycle loop. Implementations must be
+// observationally invisible: for identical inputs every scheduler yields
+// identical Results (cycle counts, per-category breakdowns, abort counts,
+// RETCON aggregates) and identical trace output. The lockstep scheduler
+// defines those semantics; the event scheduler is checked against it by
+// the differential oracle tests.
+type Scheduler interface {
+	// Name identifies the scheduler (the SchedKind flag name).
+	Name() string
+	// Run simulates until every core halts. It returns an error when the
+	// cycle watchdog expires (deadlock or livelock).
+	Run(m *Machine) error
+}
+
+func newScheduler(k SchedKind) Scheduler {
+	if k == SchedLockstep {
+		return lockstepSched{}
+	}
+	return eventSched{}
+}
+
+// lockstepSched is the reference scheduler: every simulated cycle touches
+// every core, exactly as the original fixed stepper did.
+type lockstepSched struct{}
+
+func (lockstepSched) Name() string { return SchedLockstep.String() }
+
+func (lockstepSched) Run(m *Machine) error {
+	for !m.allHalted() {
+		if m.Now >= m.P.MaxCycles {
+			return m.watchdogErr()
+		}
+		m.Step()
+	}
+	return nil
+}
+
+// eventSched is the event-driven time-skip scheduler. Each core's next
+// wake time is explicit (stall expiry; barrier waits and halts wake only
+// through another core's execution), so the loop jumps Now from wake
+// event to wake event — a cycle in which no core is due is never visited,
+// and a core costs nothing between events. The skipped cycles are
+// attributed lazily: settle() bulk-charges them to the core's pending
+// wait category the moment its state is next observed (its own
+// execution, a remote abort, a barrier release), reproducing the lockstep
+// stepper's per-cycle accounting exactly — including the in-transaction
+// busy/other accumulators that abort reattribution subtracts, and the
+// core-ID-order tie-breaks within a cycle.
+//
+// Bookkeeping: every live, non-barrier-waiting core always holds exactly
+// one live schedule — an entry in readyNext (due next cycle), the wake
+// heap (due at a stall expiry), or pendingWakes (rescheduled mid-cycle by
+// an abort or barrier release). Core.scheduledWake is the cycle of that
+// live schedule; heap entries that no longer match it are stale and are
+// dropped when encountered. The same match is re-checked at a core's
+// execution turn, so duplicate due-entries (a rescheduled wake colliding
+// with a stale one) execute at most once.
+type eventSched struct{}
+
+func (eventSched) Name() string { return SchedEvent.String() }
+
+func (eventSched) Run(m *Machine) error {
+	m.lazyAttr = true
+	defer func() { m.lazyAttr = false }()
+	halted := 0
+	wheel := newWakeWheel()
+	n := len(m.Cores)
+	ready := make([]*Core, 0, n)
+	readyNext := make([]*Core, 0, n)
+	popped := make([]*Core, 0, n)
+	for _, c := range m.Cores {
+		c.attributedUntil = m.Now
+		if c.halted {
+			halted++
+			continue
+		}
+		c.scheduledWake = m.Now + 1
+		readyNext = append(readyNext, c)
+	}
+	for halted < n {
+		// The next cycle to visit: readyNext cores are due one cycle out,
+		// everything else at the wheel's earliest occupied slot.
+		next := neverWakes
+		if len(readyNext) > 0 {
+			next = m.Now + 1
+		} else {
+			next = wheel.nextWake(m, m.Now)
+		}
+		if next > m.P.MaxCycles {
+			// The next wake lies beyond the watchdog (or there is none at
+			// all: every live core parked at a barrier that cannot release).
+			// The lockstep machine would idle up to the bound and expire
+			// there; report the identical failure.
+			m.Now = m.P.MaxCycles
+			return m.watchdogErr()
+		}
+		m.Now = next
+
+		// Collect the due cores in ID order: readyNext is built in ID
+		// order; wheel pops are sorted after the drain.
+		popped = wheel.drain(m, m.Now, popped[:0])
+		sortByID(popped)
+		// Most cycles draw due cores from a single source; merge only when
+		// a stall expiry lands on a cycle that already has runnable cores.
+		switch {
+		case len(popped) == 0:
+			ready, readyNext = readyNext, ready[:0]
+		case len(readyNext) == 0:
+			ready, popped = popped, ready[:0]
+			readyNext = readyNext[:0]
+		default:
+			ready = mergeByID(ready[:0], readyNext, popped)
+			readyNext = readyNext[:0]
+		}
+
+		for _, c := range ready {
+			// Re-check the schedule at the core's turn: an earlier core's
+			// execution this cycle may have aborted (and rescheduled) it,
+			// exactly as under lockstep order, and a duplicate due-entry must
+			// not execute twice.
+			if c.scheduledWake != m.Now || c.halted || c.barrierWait {
+				continue
+			}
+			if m.Now <= c.stallUntil {
+				// Re-stalled after scheduling (defensive: abort reschedules).
+				c.scheduledWake = c.stallUntil + 1
+				wheel.push(wakeKey(c.scheduledWake, c.ID), m.Now)
+				continue
+			}
+			m.settle(c, m.Now-1)
+			c.attributedUntil = m.Now
+			m.execID = c.ID
+			m.exec(c)
+			switch {
+			case c.halted:
+				halted++
+				c.scheduledWake = -1
+			case c.barrierWait:
+				c.scheduledWake = -1 // woken by the release, via pendingWakes
+			case c.stallUntil > m.Now:
+				c.scheduledWake = c.stallUntil + 1
+				wheel.push(wakeKey(c.scheduledWake, c.ID), m.Now)
+			default:
+				c.scheduledWake = m.Now + 1
+				readyNext = append(readyNext, c)
+			}
+		}
+		m.maybeReleaseBarrier()
+		// Adopt mid-cycle reschedules (remote aborts, barrier releases).
+		for _, id := range m.pendingWakes {
+			if c := m.Cores[id]; !c.halted && !c.barrierWait && c.scheduledWake > m.Now {
+				wheel.push(wakeKey(c.scheduledWake, id), m.Now)
+			}
+		}
+		m.pendingWakes = m.pendingWakes[:0]
+	}
+	return nil
+}
+
+// wakeKey packs a schedule entry into one int64: wake<<6 | core ID.
+// Params.Validate caps Cores at 64, so the ID fits 6 bits and the natural
+// int64 ordering is exactly the (wake, id) order — overflow-heap sifts
+// are single integer compares.
+func wakeKey(wake int64, id int) wakeKeyed { return wakeKeyed(wake<<6 | int64(id)) }
+
+func (e wakeKeyed) wake() int64 { return int64(e) >> 6 }
+func (e wakeKeyed) id() int     { return int(e & 63) }
+
+type wakeKeyed int64
+
+// Timing-wheel geometry: one slot per cycle over a horizon that covers
+// every common stall (NACK retries, abort backoffs, cache misses, DRAM
+// with occupancy queuing). Longer wakes — rare multi-thousand-cycle
+// commit repairs — go to the overflow heap.
+const (
+	wheelBits = 10
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// wakeWheel is the event scheduler's wake queue: a single-level timing
+// wheel (bucket ring indexed by cycle mod wheelSize, with an occupancy
+// bitmap for O(words) next-event scans) plus a min-heap overflow for
+// wakes beyond the horizon. Slot membership is unambiguous: every pushed
+// wake lies at most wheelSize cycles ahead, and the scan never skips an
+// occupied slot, so when a slot comes due all its entries share that due
+// cycle.
+type wakeWheel struct {
+	slots [wheelSize][]wakeKeyed
+	bits  [wheelSize / 64]uint64
+	over  wakeHeap
+}
+
+func newWakeWheel() *wakeWheel { return &wakeWheel{} }
+
+func (w *wakeWheel) push(e wakeKeyed, now int64) {
+	if e.wake()-now > wheelSize {
+		w.over.push(e)
+		return
+	}
+	s := int(e.wake()) & wheelMask
+	w.slots[s] = append(w.slots[s], e)
+	w.bits[s>>6] |= 1 << (s & 63)
+}
+
+// nextWake returns the earliest live wake after now, or neverWakes.
+func (w *wakeWheel) nextWake(m *Machine, now int64) int64 {
+	next := neverWakes
+	for len(w.over) > 0 {
+		if wk := w.over[0].wake(); m.Cores[w.over[0].id()].scheduledWake == wk {
+			next = wk
+			break
+		}
+		w.over.pop() // stale: the core was rescheduled after this entry
+	}
+	// First occupied slot in circular order after now. The +1 iteration
+	// re-covers the starting word's low bits after a full wrap.
+	start := int(now+1) & wheelMask
+	wi := start >> 6
+	word := w.bits[wi] &^ (1<<(start&63) - 1)
+	for k := 0; k <= wheelSize/64; k++ {
+		if word != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(word)
+			d := int64((idx - start) & wheelMask)
+			return min(next, now+1+d)
+		}
+		wi = (wi + 1) & (wheelSize/64 - 1)
+		word = w.bits[wi]
+	}
+	return next
+}
+
+// drain appends the cores due at cycle now (stale entries dropped) and
+// returns the extended slice. Callers sort it by ID afterwards.
+func (w *wakeWheel) drain(m *Machine, now int64, popped []*Core) []*Core {
+	for len(w.over) > 0 && w.over[0].wake() <= now {
+		e := w.over.pop()
+		if c := m.Cores[e.id()]; c.scheduledWake == e.wake() {
+			popped = append(popped, c)
+		}
+	}
+	s := int(now) & wheelMask
+	if w.bits[s>>6]&(1<<(s&63)) != 0 {
+		for _, e := range w.slots[s] {
+			if c := m.Cores[e.id()]; c.scheduledWake == e.wake() {
+				popped = append(popped, c)
+			}
+		}
+		w.slots[s] = w.slots[s][:0]
+		w.bits[s>>6] &^= 1 << (s & 63)
+	}
+	return popped
+}
+
+// sortByID insertion-sorts a (small) due list into core-ID order.
+func sortByID(cs []*Core) {
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j].ID > c.ID {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}
+
+// wakeHeap is a binary min-heap of packed wake keys.
+type wakeHeap []wakeKeyed
+
+func (h *wakeHeap) push(e wakeKeyed) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *wakeHeap) pop() wakeKeyed {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(q) && q[l] < q[s] {
+			s = l
+		}
+		if r < len(q) && q[r] < q[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	return top
+}
+
+// mergeByID merges two ID-sorted core lists into dst.
+func mergeByID(dst, a, b []*Core) []*Core {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].ID <= b[j].ID {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// settle bulk-attributes core c's unaccounted cycles through cycle upTo
+// to its current wait category — the lazy equivalent of what the lockstep
+// stepper charges one cycle at a time, including the in-transaction
+// busy/other accumulators that abort reattribution depends on. It is a
+// no-op outside the event scheduler (attributedUntil is maintained only
+// under lazy attribution) and on fully-settled cores.
+func (m *Machine) settle(c *Core, upTo int64) {
+	n := upTo - c.attributedUntil
+	if n <= 0 {
+		return
+	}
+	cat := c.stallCat
+	if c.barrierWait {
+		cat = CatBarrier
+	}
+	c.Stats.Cycles[cat] += n
+	if c.Tx.Active {
+		switch cat {
+		case CatBusy:
+			c.Tx.AccumBusy += n
+		case CatOther:
+			c.Tx.AccumOther += n
+		}
+	}
+	c.attributedUntil = upTo
+}

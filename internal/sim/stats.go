@@ -70,18 +70,12 @@ func (a *RetconAgg) record(st core.TxStats, txCycles int64) {
 	a.SumConstraints += int64(st.ConstraintAddrs)
 	a.SumCommitCycles += st.CommitCycles
 	a.SumTxCycles += txCycles
-	max64(&a.MaxLost, int64(st.BlocksLost))
-	max64(&a.MaxTracked, int64(st.BlocksTracked))
-	max64(&a.MaxRegs, int64(st.SymRegsRepaired))
-	max64(&a.MaxStores, int64(st.PrivateStores))
-	max64(&a.MaxConstraints, int64(st.ConstraintAddrs))
-	max64(&a.MaxCommitCycles, st.CommitCycles)
-}
-
-func max64(dst *int64, v int64) {
-	if v > *dst {
-		*dst = v
-	}
+	a.MaxLost = max(a.MaxLost, int64(st.BlocksLost))
+	a.MaxTracked = max(a.MaxTracked, int64(st.BlocksTracked))
+	a.MaxRegs = max(a.MaxRegs, int64(st.SymRegsRepaired))
+	a.MaxStores = max(a.MaxStores, int64(st.PrivateStores))
+	a.MaxConstraints = max(a.MaxConstraints, int64(st.ConstraintAddrs))
+	a.MaxCommitCycles = max(a.MaxCommitCycles, st.CommitCycles)
 }
 
 // Result summarizes one simulation run.

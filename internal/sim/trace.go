@@ -8,7 +8,11 @@ import (
 // TraceTo enables event tracing: one line per transactional event (begin,
 // commit, abort, NACK, symbolic loss, constraint violation, repair) is
 // written to w. Tracing is meant for small machines and short programs —
-// it is exact, not sampled — and is disabled by passing nil.
+// it is exact, not sampled — and is disabled by passing nil. Trace lines
+// carry exact timestamps under every scheduler: the event-driven
+// scheduler skips idle cycles but executes (and therefore traces) each
+// event at the same Now the lockstep oracle would, so trace output is
+// byte-identical across schedulers.
 func (m *Machine) TraceTo(w io.Writer) { m.traceW = w }
 
 func (m *Machine) trace(c *Core, format string, args ...interface{}) {

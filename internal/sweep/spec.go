@@ -107,10 +107,24 @@ type ParamPatch struct {
 
 	MemBytes  *int64 `json:"mem_bytes,omitempty"`
 	MaxCycles *int64 `json:"max_cycles,omitempty"`
+
+	// Sched selects the cycle-loop scheduler: "event" (time-skip, the
+	// default) or "lockstep" (the reference oracle) — useful for
+	// differential sweeps over the whole grid.
+	Sched *string `json:"sched,omitempty"`
 }
 
-// Apply patches the non-nil fields onto p.
-func (pp *ParamPatch) Apply(p *sim.Params) {
+// Apply patches the non-nil fields onto p. It fails only on an invalid
+// scheduler name, in which case p is left unmodified.
+func (pp *ParamPatch) Apply(p *sim.Params) error {
+	var sched sim.SchedKind
+	if pp.Sched != nil {
+		k, err := sim.ParseSched(*pp.Sched)
+		if err != nil {
+			return err
+		}
+		sched = k
+	}
 	set64 := func(dst *int64, v *int64) {
 		if v != nil {
 			*dst = *v
@@ -147,6 +161,10 @@ func (pp *ParamPatch) Apply(p *sim.Params) {
 	setBool(&p.IdealZeroStoreLatency, pp.IdealZeroStoreLatency)
 	set64(&p.MemBytes, pp.MemBytes)
 	set64(&p.MaxCycles, pp.MaxCycles)
+	if pp.Sched != nil {
+		p.Sched = sched
+	}
+	return nil
 }
 
 // ParseSpecs decodes a spec file: a single JSON spec object or an array
@@ -230,7 +248,9 @@ func (s *Spec) Expand(base sim.Params) ([]Run, error) {
 			for _, nc := range cores {
 				for _, seed := range seeds {
 					p := base
-					s.Params.Apply(&p)
+					if err := s.Params.Apply(&p); err != nil {
+						return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+					}
 					p.Mode = mode
 					p.Cores = nc
 					for _, ov := range s.Overrides {
@@ -239,7 +259,9 @@ func (s *Spec) Expand(base sim.Params) ([]Run, error) {
 							return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
 						}
 						if ok {
-							ov.Params.Apply(&p)
+							if err := ov.Params.Apply(&p); err != nil {
+								return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+							}
 							// Overrides may not retarget the axes themselves.
 							p.Mode = mode
 							p.Cores = nc

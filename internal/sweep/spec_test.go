@@ -158,15 +158,46 @@ func TestParamPatchApply(t *testing.T) {
 	ivb := 4
 	dram := int64(250)
 	ideal := true
+	sched := "lockstep"
 	p := sim.DefaultParams()
-	patch := ParamPatch{IVBEntries: &ivb, DRAM: &dram, IdealUnlimited: &ideal}
-	patch.Apply(&p)
-	if p.Retcon.IVBEntries != 4 || p.DRAM != 250 || !p.IdealUnlimited {
+	patch := ParamPatch{IVBEntries: &ivb, DRAM: &dram, IdealUnlimited: &ideal, Sched: &sched}
+	if err := patch.Apply(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retcon.IVBEntries != 4 || p.DRAM != 250 || !p.IdealUnlimited || p.Sched != sim.SchedLockstep {
 		t.Errorf("patch not applied: %+v", p)
 	}
 	// Untouched fields keep defaults.
 	if p.L1Bytes != sim.DefaultParams().L1Bytes {
 		t.Error("unpatched field modified")
+	}
+	bad := "cycle-accurate"
+	if err := (&ParamPatch{Sched: &bad}).Apply(&p); err == nil {
+		t.Error("invalid scheduler name must fail")
+	}
+}
+
+// TestExpandSchedPatch: a sched patch in a spec expands into runs whose
+// Params carry the scheduler, so differential sweeps can pit the event
+// scheduler against the lockstep oracle across the whole grid.
+func TestExpandSchedPatch(t *testing.T) {
+	sched := "lockstep"
+	s := Spec{
+		Name:      "diff",
+		Workloads: []string{"counter"},
+		Params:    ParamPatch{Sched: &sched},
+	}
+	runs, err := s.Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Params.Sched != sim.SchedLockstep {
+		t.Errorf("sched patch not expanded: %+v", runs)
+	}
+	bad := "warp"
+	s.Params.Sched = &bad
+	if _, err := s.Expand(sim.DefaultParams()); err == nil {
+		t.Error("invalid sched in spec must fail expansion")
 	}
 }
 
@@ -203,5 +234,19 @@ func TestPresets(t *testing.T) {
 	}
 	if _, err := Preset("nope"); err == nil {
 		t.Error("unknown preset must error")
+	}
+}
+
+// TestParamPatchApplyAtomic: an invalid patch must leave the target
+// Params untouched, including fields that precede the failing one.
+func TestParamPatchApplyAtomic(t *testing.T) {
+	dram := int64(250)
+	bad := "warp"
+	p := sim.DefaultParams()
+	if err := (&ParamPatch{DRAM: &dram, Sched: &bad}).Apply(&p); err == nil {
+		t.Fatal("invalid sched must fail")
+	}
+	if p.DRAM != sim.DefaultParams().DRAM {
+		t.Error("failed Apply must not half-apply the patch")
 	}
 }

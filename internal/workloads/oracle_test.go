@@ -1,0 +1,50 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSchedulerOracleFullGrid is the differential oracle for the
+// event-driven time-skip scheduler: every workload kernel, under every
+// conflict-handling mode, at several machine sizes, must produce a Result
+// byte-identical to the lockstep reference scheduler's — cycle counts,
+// per-category breakdowns, abort counts and the RETCON aggregates — and a
+// final memory image passing the workload verifier.
+func TestSchedulerOracleFullGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scheduler-differential grid; run without -short")
+	}
+	for _, w := range small() {
+		for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
+			for _, cores := range []int{1, 4, 8} {
+				results := make(map[sim.SchedKind]*sim.Result, 2)
+				for _, kind := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
+					b := w.Build(cores, 7)
+					p := sim.DefaultParams()
+					p.Cores = cores
+					p.Mode = mode
+					p.Sched = kind
+					m, err := sim.New(p, b.Mem, b.Programs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := m.Run()
+					if err != nil {
+						t.Fatalf("%s mode=%v cores=%d sched=%v: %v", w.Name(), mode, cores, kind, err)
+					}
+					if err := b.Verify(b.Mem); err != nil {
+						t.Errorf("%s mode=%v cores=%d sched=%v: %v", w.Name(), mode, cores, kind, err)
+					}
+					results[kind] = res
+				}
+				if !reflect.DeepEqual(results[sim.SchedLockstep], results[sim.SchedEvent]) {
+					t.Errorf("%s mode=%v cores=%d: schedulers diverge\nlockstep: %+v\nevent:    %+v",
+						w.Name(), mode, cores, results[sim.SchedLockstep], results[sim.SchedEvent])
+				}
+			}
+		}
+	}
+}

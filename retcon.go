@@ -39,6 +39,20 @@ type Config = sim.Params
 // DefaultConfig returns the paper's Table 1 machine configuration.
 func DefaultConfig() Config { return sim.DefaultParams() }
 
+// SchedKind selects the simulator's cycle-loop scheduler (Config.Sched).
+type SchedKind = sim.SchedKind
+
+// Schedulers: the event-driven time-skip scheduler (the default) and the
+// cycle-by-cycle lockstep reference oracle. Both produce identical
+// Results; the event scheduler is simply faster on stall-heavy runs.
+const (
+	SchedEvent    = sim.SchedEvent
+	SchedLockstep = sim.SchedLockstep
+)
+
+// ParseSched parses a scheduler name: "event" or "lockstep".
+func ParseSched(s string) (SchedKind, error) { return sim.ParseSched(s) }
+
 // Result is a completed simulation with its statistics.
 type Result struct {
 	Workload string

@@ -39,3 +39,36 @@ func TestRunTraced(t *testing.T) {
 		t.Errorf("tracing changed the run: %d vs %d cycles", res.Cycles, plain.Cycles)
 	}
 }
+
+// TestTraceSchedulerEquivalence: the event-driven scheduler skips idle
+// cycles but must trace every transactional event at the exact timestamp
+// the lockstep oracle does — the trace byte streams are identical.
+func TestTraceSchedulerEquivalence(t *testing.T) {
+	w, err := retcon.LookupWorkload("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make(map[retcon.SchedKind]string, 2)
+	cycles := make(map[retcon.SchedKind]int64, 2)
+	for _, kind := range []retcon.SchedKind{retcon.SchedLockstep, retcon.SchedEvent} {
+		c := cfg(4, retcon.ModeRetCon)
+		c.Sched = kind
+		var buf bytes.Buffer
+		res, err := retcon.RunTraced(w, c, 1, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[kind] = buf.String()
+		cycles[kind] = res.Cycles
+	}
+	if cycles[retcon.SchedLockstep] != cycles[retcon.SchedEvent] {
+		t.Errorf("cycle counts diverge: lockstep %d vs event %d",
+			cycles[retcon.SchedLockstep], cycles[retcon.SchedEvent])
+	}
+	if traces[retcon.SchedLockstep] == "" {
+		t.Fatal("empty trace")
+	}
+	if traces[retcon.SchedLockstep] != traces[retcon.SchedEvent] {
+		t.Error("trace output diverges between schedulers")
+	}
+}
