@@ -8,10 +8,14 @@
 #   make ci          what CI runs: vet + full tests
 #   make bench       time the cycle loop under both schedulers -> BENCH_sim.json
 #   make paperbench  regenerate the paper's figures and tables concurrently
+#   make fuzz        bounded differential-fuzz pass: corpus replay, a seed
+#                    sweep through cmd/retcon-fuzz, and 30s per native
+#                    go test -fuzz target
+#   make fuzz-long   open-ended seed sweep (Ctrl-C when bored)
 
 GO ?= go
 
-.PHONY: build vet test test-short race ci bench paperbench
+.PHONY: build vet test test-short race ci bench paperbench fuzz fuzz-long
 
 build:
 	$(GO) build ./...
@@ -38,3 +42,17 @@ bench: build
 
 paperbench: build
 	$(GO) run ./cmd/paperbench
+
+# Differential fuzzing (internal/fuzz): every divergence between the
+# schedulers, the conflict-handling modes, the per-commit replay oracle
+# and the statistics invariants is a bug. The corpus under
+# internal/fuzz/testdata/corpus/ holds minimized reproducers of fixed
+# bugs and replays inside the normal test suite.
+fuzz: build
+	$(GO) test ./internal/fuzz/ -run TestCorpusReplay -count=1
+	$(GO) run ./cmd/retcon-fuzz -seeds 0:3000 -short -progress 0
+	$(GO) test ./internal/core/ -run xxx -fuzz FuzzBranchConstraint -fuzztime 30s
+	$(GO) test ./internal/fuzz/ -run xxx -fuzz FuzzDifferential -fuzztime 30s
+
+fuzz-long: build
+	$(GO) run ./cmd/retcon-fuzz -seeds 0:1000000 -corpus fuzz-found

@@ -24,6 +24,17 @@ import (
 // SymVal is a symbolic register or store value: Sign*[Root] + Inc, where
 // Root is an 8-byte-aligned word address whose block is tracked in the
 // Initial Value Buffer. The zero value is "no symbolic information".
+//
+// Overflow contract: SymVal arithmetic is two's-complement, exactly like
+// the machine's ALU. AddConst accumulates Inc with wrapping, Negate maps
+// MinInt64 to itself, and Eval wraps — so for any root value r,
+// Eval(r) equals what the core's add/sub datapath would have computed,
+// bit for bit, because addition mod 2^64 is associative. The place wrap
+// must NOT silently leak is constraint folding: an interval endpoint
+// computed with wrapped arithmetic can describe a root set that is not
+// one interval at all, so BranchConstraint detects those cases and
+// reports the constraint as unrepresentable (the simulator then aborts
+// the transaction rather than committing under a mis-bounded constraint).
 type SymVal struct {
 	Valid bool
 	Root  int64 // word address of the symbolic input
@@ -34,7 +45,8 @@ type SymVal struct {
 // Sym constructs a symbolic value rooted at the given word address.
 func Sym(root int64) SymVal { return SymVal{Valid: true, Root: root, Sign: 1} }
 
-// Eval computes the concrete value given the (final) value of the root.
+// Eval computes the concrete value given the (final) value of the root,
+// with two's-complement wrap (see the SymVal overflow contract).
 func (s SymVal) Eval(rootVal int64) int64 {
 	if s.Sign < 0 {
 		return s.Inc - rootVal
@@ -42,10 +54,11 @@ func (s SymVal) Eval(rootVal int64) int64 {
 	return rootVal + s.Inc
 }
 
-// AddConst returns the symbolic value shifted by a constant.
+// AddConst returns the symbolic value shifted by a constant (wrapping).
 func (s SymVal) AddConst(c int64) SymVal { s.Inc += c; return s }
 
 // Negate returns -s as a symbolic value (used by reverse subtraction).
+// Inc wraps: Negate of Inc = MinInt64 keeps MinInt64, matching the ALU.
 func (s SymVal) Negate() SymVal {
 	s.Sign = -s.Sign
 	s.Inc = -s.Inc
@@ -98,68 +111,97 @@ func (iv Interval) IsFull() bool { return iv.Lo == math.MinInt64 && iv.Hi == mat
 
 func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
 
-// Saturating arithmetic for interval endpoints.
-func satAdd(a, b int64) int64 {
-	s := a + b
-	if b > 0 && s < a {
-		return math.MaxInt64
-	}
-	if b < 0 && s > a {
-		return math.MinInt64
-	}
-	return s
-}
-
-func satSub(a, b int64) int64 {
-	s := a - b
-	if b < 0 && s < a {
-		return math.MaxInt64
-	}
-	if b > 0 && s > a {
-		return math.MinInt64
-	}
-	return s
-}
-
-// BranchConstraint derives the interval constraint on sym's root implied by
-// the observed outcome of a branch "sym OP rhs" (signed comparison against
-// the concrete value rhs). curRoot is the concrete (possibly stale) value
-// of the root during execution, needed to fold not-equal constraints onto
-// a half-line. taken reports whether the branch was taken; the constraint
-// for a non-taken branch is the negated condition.
-func BranchConstraint(sym SymVal, op isa.Op, rhs int64, taken bool, curRoot int64) Interval {
+// BranchConstraint derives the interval constraint on sym's root implied
+// by the observed outcome of a branch "sym OP rhs" (signed comparison
+// against the concrete value rhs). curRoot is the concrete (possibly
+// stale) value of the root during execution, needed to fold not-equal
+// constraints onto a half-line. taken reports whether the branch was
+// taken; the constraint for a non-taken branch is the negated condition.
+//
+// Folding is wrap-exact or conservative, never widening: the constraint
+// is first expressed as an interval [slo, shi] on the wrapped symbolic
+// value itself (always exact — the branch compared that wrapped value),
+// then mapped through sym's affine form onto the root. The mapping is a
+// rotation of the mod-2^64 circle, so the root set is either one linear
+// int64 interval (used exactly) or a wrapped-around pair of intervals; a
+// pair cannot be represented, so the fold keeps the piece containing the
+// current root value and drops the other. Dropping roots is sound — a
+// root in the dropped piece fails the constraint at commit and the
+// transaction re-executes — whereas admitting an invalid root would
+// commit state a replayed execution could never produce. The pre-fix
+// code saturated the endpoint arithmetic instead, silently widening the
+// constraint (e.g. to Full, dropping it entirely); the fuzz corpus pins
+// those cases. ok is false only when no sound interval exists at all: a
+// not-equal branch whose current value sits on the excluded point, or an
+// arithmetically unobservable comparison — both indicate corrupted
+// tracking, and the caller must abort.
+func BranchConstraint(sym SymVal, op isa.Op, rhs int64, taken bool, curRoot int64) (iv Interval, ok bool) {
 	if !taken {
 		op = negateBranch(op)
 	}
-	// Normalize to a condition on the root r: sym = Sign*r + Inc.
-	// Sign=+1: r OP' (rhs - Inc).   Sign=-1: (Inc - r) OP rhs  =>  r OP'' (Inc - rhs)
-	// where for Sign=-1 the comparison direction flips.
-	var bound int64
-	if sym.Sign >= 0 {
-		bound = satSub(rhs, sym.Inc)
-	} else {
-		bound = satSub(sym.Inc, rhs)
-		op = MirrorBranch(op)
-	}
+	var slo, shi int64
 	switch op {
 	case isa.Beq:
-		return Point(bound)
+		slo, shi = rhs, rhs
 	case isa.Bne:
-		// Fold to the half-line containing the current root value.
-		if curRoot < bound {
-			return Interval{Lo: math.MinInt64, Hi: satSub(bound, 1)}
+		// Fold to the half-line containing the current symbolic value. The
+		// branch observed cur != rhs, so cur never sits on the excluded
+		// point; the guard is defensive against corrupted tracking.
+		switch cur := sym.Eval(curRoot); {
+		case cur < rhs:
+			slo, shi = math.MinInt64, rhs-1
+		case cur > rhs:
+			slo, shi = rhs+1, math.MaxInt64
+		default:
+			return Interval{}, false
 		}
-		return Interval{Lo: satAdd(bound, 1), Hi: math.MaxInt64}
 	case isa.Blt:
-		return Interval{Lo: math.MinInt64, Hi: satSub(bound, 1)}
+		if rhs == math.MinInt64 {
+			return Interval{}, false // "< MinInt64" is unobservable
+		}
+		slo, shi = math.MinInt64, rhs-1
 	case isa.Ble:
-		return Interval{Lo: math.MinInt64, Hi: bound}
+		slo, shi = math.MinInt64, rhs
 	case isa.Bgt:
-		return Interval{Lo: satAdd(bound, 1), Hi: math.MaxInt64}
+		if rhs == math.MaxInt64 {
+			return Interval{}, false // "> MaxInt64" is unobservable
+		}
+		slo, shi = rhs+1, math.MaxInt64
 	case isa.Bge:
-		return Interval{Lo: bound, Hi: math.MaxInt64}
+		slo, shi = rhs, math.MaxInt64
+	default:
+		panic(fmt.Sprintf("core: not a branch op: %v", op))
 	}
-	panic(fmt.Sprintf("core: not a branch op: %v", op))
+	if slo == math.MinInt64 && shi == math.MaxInt64 {
+		// Tautology (e.g. a non-taken "< MinInt64"): the full circle maps
+		// to the full circle; rotating it would misread lo>hi as a split
+		// and drop a root.
+		return Full(), true
+	}
+	// Map the sym-value interval onto the root, wrapping. Sign=+1:
+	// wrap(r+Inc) in [slo,shi] <=> r in [slo-Inc, shi-Inc] (mod 2^64).
+	// Sign=-1: wrap(Inc-r) in [slo,shi] <=> r in [Inc-shi, Inc-slo].
+	var lo, hi int64
+	if sym.Sign >= 0 {
+		lo, hi = slo-sym.Inc, shi-sym.Inc
+	} else {
+		lo, hi = sym.Inc-shi, sym.Inc-slo
+	}
+	if lo <= hi {
+		return Interval{Lo: lo, Hi: hi}, true
+	}
+	// The root set wraps around the int64 boundary into two pieces,
+	// [lo, MaxInt64] and [MinInt64, hi]. Keep the piece holding the
+	// current root (it satisfies the constraint by construction).
+	if curRoot >= lo {
+		return Interval{Lo: lo, Hi: math.MaxInt64}, true
+	}
+	if curRoot <= hi {
+		return Interval{Lo: math.MinInt64, Hi: hi}, true
+	}
+	// The current root is in neither piece: the observed execution does
+	// not satisfy its own constraint, so tracking is inconsistent.
+	return Interval{}, false
 }
 
 // negateBranch returns the opcode for the negated condition.

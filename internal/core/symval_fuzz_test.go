@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBranchConstraint drives the fold with arbitrary (increment, sign,
+// rhs, root) tuples — including the int64 extremes native fuzzing mutates
+// toward — and checks the two properties RETCON's correctness rests on:
+// the observed root satisfies its own constraint, and no admitted root
+// value flips the branch outcome (soundness; the fold may drop valid
+// roots near a wrap boundary, which costs an abort, never a wrong
+// commit).
+func FuzzBranchConstraint(f *testing.F) {
+	f.Add(int64(0), int64(5), false, int64(10), uint8(2), true)
+	f.Add(int64(17), int64(math.MaxInt64), false, int64(math.MinInt64+15), uint8(3), true)
+	f.Add(int64(1), int64(5), false, int64(math.MinInt64), uint8(1), true)
+	f.Add(int64(-5), int64(100), false, int64(10), uint8(3), true)
+	f.Add(int64(3), int64(5), true, int64(0), uint8(4), false)
+	f.Fuzz(func(t *testing.T, inc, root int64, neg bool, rhs int64, opSel uint8, taken bool) {
+		sym := Sym(0x80).AddConst(inc)
+		if neg {
+			sym = sym.Negate()
+		}
+		op := branchOps[int(opSel)%len(branchOps)]
+		// Only outcomes the machine can observe are folded: derive taken
+		// from the actual wrapped comparison instead of trusting the input.
+		taken = evalBranch(op, sym.Eval(root), rhs)
+		iv, ok := BranchConstraint(sym, op, rhs, taken, root)
+		if !ok {
+			// Refusal is only legal when no sound interval exists; for an
+			// observed outcome the current root always yields one, except
+			// the defensive inconsistency guards that observation cannot
+			// reach. Treat refusal on a reachable input as a failure.
+			t.Fatalf("fold refused observable outcome: sym=%v op=%v rhs=%d root=%d", sym, op, rhs, root)
+		}
+		if !iv.Contains(root) {
+			t.Fatalf("constraint %v excludes its own root %d (sym=%v op=%v rhs=%d)", iv, root, sym, op, rhs)
+		}
+		probes := []int64{
+			root, iv.Lo, iv.Hi, iv.Lo - 1, iv.Hi + 1, rhs, rhs - inc, 0,
+			math.MinInt64, math.MaxInt64,
+		}
+		for _, r := range probes {
+			if iv.Contains(r) && evalBranch(op, sym.Eval(r), rhs) != taken {
+				t.Fatalf("unsound: root %d admitted by %v but flips %v (sym=%v rhs=%d taken=%v)",
+					r, iv, op, sym, rhs, taken)
+			}
+		}
+	})
+}

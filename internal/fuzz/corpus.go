@@ -1,0 +1,66 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry is one corpus file: a minimized reproducer plus the story of the
+// bug it caught. Every divergence fixed in the tree gets an entry under
+// testdata/corpus/, and the corpus-replay test re-checks all of them
+// under every oracle on every test run, so a fixed bug stays fixed.
+type Entry struct {
+	Name   string `json:"name"`   // file name stem, kebab-case
+	Bug    string `json:"bug"`    // one-paragraph description of the historical bug
+	Oracle string `json:"oracle"` // the oracle that caught it (OracleSched, ...)
+	Prog   Prog   `json:"prog"`
+}
+
+// WriteEntry writes the entry as <dir>/<name>.json and returns the path.
+func WriteEntry(dir string, e *Entry) (string, error) {
+	if e.Name == "" || strings.ContainsAny(e.Name, "/\\ ") {
+		return "", fmt.Errorf("fuzz: bad corpus entry name %q", e.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("fuzz: %w", err)
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("fuzz: %w", err)
+	}
+	path := filepath.Join(dir, e.Name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("fuzz: %w", err)
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every *.json entry under dir in name order. A missing
+// directory is an empty corpus.
+func LoadCorpus(dir string) ([]*Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %w", err)
+	}
+	sort.Strings(paths)
+	var out []*Entry
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+		}
+		if err := e.Prog.Validate(); err != nil {
+			return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+		}
+		out = append(out, &e)
+	}
+	return out, nil
+}

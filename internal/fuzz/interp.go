@@ -1,0 +1,199 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// replayBudget bounds a single functional replay. Generated transactions
+// are a few hundred dynamic instructions at most; hitting the budget
+// means the replayed control flow livelocked, which is itself a
+// divergence (the committed execution terminated).
+const replayBudget = 1 << 20
+
+// ReplayOracle returns a commit observer that functionally re-executes
+// each committed transaction at its commit instant and verifies that the
+// committed architectural state — registers, PC and every memory word the
+// transaction or the replay touched — equals the replayed one. This is
+// the paper's §4 correctness argument checked mechanically: symbolic
+// repair must commit exactly the state a replayed execution would.
+//
+// The replay is an independent interpreter over internal/isa (its own
+// ALU, branch and byte-merge semantics), so it doubles as a differential
+// check of the simulator's execution core.
+func ReplayOracle() sim.CommitObserver {
+	return replayCommit
+}
+
+func replayCommit(m *sim.Machine, c *sim.Core) error {
+	// Reconstruct the pre-transaction value of every word the transaction
+	// stored to by unwinding the undo log (newest first) against the
+	// current image. All other words are untouched by the transaction, and
+	// conflict detection guarantees no remote writer changed a word the
+	// transaction read non-symbolically, so the current image is exactly
+	// what a replay starting now would observe.
+	pre := make(map[int64]int64)
+	undo := c.Tx.Undo
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		w := mem.WordAddr(u.Addr)
+		cur, ok := pre[w]
+		if !ok {
+			cur = m.Mem.Read64(w)
+		}
+		pre[w] = mergeBytes(cur, u.Addr, u.Size, u.Old)
+	}
+
+	regs := c.Tx.RegCkpt
+	stores := make(map[int64]int64)
+	read := func(word int64) int64 {
+		if v, ok := stores[word]; ok {
+			return v
+		}
+		if v, ok := pre[word]; ok {
+			return v
+		}
+		return m.Mem.Read64(word)
+	}
+
+	prog := c.Prog.Instrs
+	pc := c.Tx.BeginPC
+	if pc < 0 || pc >= len(prog) || prog[pc].Op != isa.TxBegin {
+		return fmt.Errorf("replay: core %d t=%d: BeginPC %d is not a TXBEGIN", c.ID, m.Now, pc)
+	}
+	pc++
+	for steps := 0; ; steps++ {
+		if steps >= replayBudget {
+			return fmt.Errorf("replay: core %d t=%d: replayed execution did not reach TXCOMMIT within %d steps", c.ID, m.Now, replayBudget)
+		}
+		if pc < 0 || pc >= len(prog) {
+			return fmt.Errorf("replay: core %d t=%d: PC %d out of range", c.ID, m.Now, pc)
+		}
+		in := &prog[pc]
+		if in.Op == isa.TxCommit {
+			pc++
+			break
+		}
+		var err error
+		pc, err = step(in, pc, &regs, read, stores)
+		if err != nil {
+			return fmt.Errorf("replay: core %d t=%d pc=%d: %w", c.ID, m.Now, pc, err)
+		}
+	}
+
+	// Compare committed state against the replayed state.
+	if pc != c.PC {
+		return fmt.Errorf("replay divergence: core %d t=%d: committed PC %d, replay ends at %d", c.ID, m.Now, c.PC, pc)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != c.Regs[r] {
+			return fmt.Errorf("replay divergence: core %d t=%d: r%d = %d committed, %d replayed", c.ID, m.Now, r, c.Regs[r], regs[r])
+		}
+	}
+	for w := range pre {
+		if _, ok := stores[w]; !ok {
+			stores[w] = pre[w] // tx stored here, replay did not: must read back as pre
+		}
+	}
+	for w, want := range stores {
+		if got := m.Mem.Read64(w); got != want {
+			return fmt.Errorf("replay divergence: core %d t=%d: word %#x = %d committed, %d replayed", c.ID, m.Now, w, got, want)
+		}
+	}
+	return nil
+}
+
+// step interprets one non-TXCOMMIT instruction, returning the next PC.
+// Semantics mirror the simulator's execution core by specification, not
+// by code sharing.
+func step(in *isa.Instr, pc int, regs *[isa.NumRegs]int64, read func(int64) int64, stores map[int64]int64) (int, error) {
+	set := func(r isa.Reg, v int64) {
+		if r != isa.Zero {
+			regs[r] = v
+		}
+	}
+	a, b := regs[in.Rs1], regs[in.Rs2]
+	switch in.Op {
+	case isa.Nop:
+	case isa.Li:
+		set(in.Rd, in.Imm)
+	case isa.Mov:
+		set(in.Rd, a)
+	case isa.Add:
+		set(in.Rd, a+b)
+	case isa.Addi:
+		set(in.Rd, a+in.Imm)
+	case isa.Sub:
+		set(in.Rd, a-b)
+	case isa.Rsubi:
+		set(in.Rd, in.Imm-a)
+	case isa.Mul:
+		set(in.Rd, a*b)
+	case isa.Muli:
+		set(in.Rd, a*in.Imm)
+	case isa.Div:
+		var v int64
+		if b != 0 {
+			v = a / b
+		}
+		set(in.Rd, v)
+	case isa.Rem:
+		var v int64
+		if b != 0 {
+			v = a % b
+		}
+		set(in.Rd, v)
+	case isa.And:
+		set(in.Rd, a&b)
+	case isa.Andi:
+		set(in.Rd, a&in.Imm)
+	case isa.Or:
+		set(in.Rd, a|b)
+	case isa.Xor:
+		set(in.Rd, a^b)
+	case isa.Shli:
+		set(in.Rd, a<<uint(in.Imm&63))
+	case isa.Shri:
+		set(in.Rd, int64(uint64(a)>>uint(in.Imm&63)))
+	case isa.AddF:
+		set(in.Rd, a+b)
+	case isa.MulF:
+		set(in.Rd, a*b)
+	case isa.Ld:
+		addr := a + in.Imm
+		set(in.Rd, extractBytes(read(mem.WordAddr(addr)), addr, in.Size))
+	case isa.St:
+		addr := a + in.Imm
+		w := mem.WordAddr(addr)
+		stores[w] = mergeBytes(read(w), addr, in.Size, b)
+	case isa.Jmp:
+		return in.Target, nil
+	case isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Ble, isa.Bgt:
+		var taken bool
+		switch in.Op {
+		case isa.Beq:
+			taken = a == b
+		case isa.Bne:
+			taken = a != b
+		case isa.Blt:
+			taken = a < b
+		case isa.Bge:
+			taken = a >= b
+		case isa.Ble:
+			taken = a <= b
+		case isa.Bgt:
+			taken = a > b
+		}
+		if taken {
+			return in.Target, nil
+		}
+	default:
+		// TXBEGIN (nested), BARRIER and HALT cannot occur inside a
+		// committed transaction body.
+		return pc, fmt.Errorf("op %v inside a transaction", in.Op)
+	}
+	return pc + 1, nil
+}

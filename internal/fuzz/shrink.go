@@ -1,0 +1,234 @@
+package fuzz
+
+import "encoding/json"
+
+// Shrink greedily minimizes a failing program: it applies structural and
+// numeric reductions and keeps each one only if fails still reports the
+// failure (callers typically close over Check and match the original
+// oracle, so shrinking cannot wander onto a different bug). budget bounds
+// the number of fails invocations; the original program is returned
+// unchanged if nothing smaller still fails.
+func Shrink(p *Prog, fails func(*Prog) bool, budget int) *Prog {
+	s := &shrinker{fails: fails, budget: budget}
+	cur := clone(p)
+	for {
+		next := s.round(cur)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+type shrinker struct {
+	fails  func(*Prog) bool
+	budget int
+}
+
+// try returns whether q is a valid program that still fails.
+func (s *shrinker) try(q *Prog) bool {
+	if s.budget <= 0 || q.Validate() != nil {
+		return false
+	}
+	s.budget--
+	return s.fails(q)
+}
+
+// round applies every reduction pass once and returns the first accepted
+// smaller program, or nil when no reduction holds.
+func (s *shrinker) round(p *Prog) *Prog {
+	// Drop whole cores (highest first: dropping core i renumbers the ones
+	// above it, which lane ownership tolerates but which changes lanes —
+	// the failure predicate decides whether the bug survives).
+	for c := p.Cores - 1; c >= 0 && p.Cores > 1; c-- {
+		q := clone(p)
+		q.Cores--
+		q.Threads = append(append([][]Stmt{}, q.Threads[:c]...), q.Threads[c+1:]...)
+		if s.try(q) {
+			return q
+		}
+	}
+	// Delete statements, innermost last so whole subtrees go first.
+	if q := s.deleteStmts(p); q != nil {
+		return q
+	}
+	// Structural simplifications and numeric reductions.
+	if q := s.rewriteStmts(p); q != nil {
+		return q
+	}
+	// Shrink the memory shape: initial values toward zero, fewer slots.
+	for i := range p.Words {
+		for _, v := range shrunkVals(p.Words[i].Init) {
+			q := clone(p)
+			q.Words[i].Init = v
+			if s.try(q) {
+				return q
+			}
+		}
+	}
+	if p.TableSlots > 0 && !hasKind(p.Threads, KProbe) {
+		q := clone(p)
+		q.TableSlots = 0
+		if s.try(q) {
+			return q
+		}
+	}
+	return nil
+}
+
+// deleteStmts tries removing each statement (depth-first positions).
+func (s *shrinker) deleteStmts(p *Prog) *Prog {
+	for t := range p.Threads {
+		if q := s.deleteIn(p, t, nil, len(p.Threads[t])); q != nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// deleteIn tries deleting each statement of the list identified by path
+// (a chain of child indices from Threads[t] down), including recursing
+// into bodies.
+func (s *shrinker) deleteIn(p *Prog, t int, path []int, n int) *Prog {
+	for i := n - 1; i >= 0; i-- {
+		q := clone(p)
+		list := stmtList(q, t, path)
+		*list = append(append([]Stmt{}, (*list)[:i]...), (*list)[i+1:]...)
+		if s.try(q) {
+			return q
+		}
+		child := stmtAt(p, t, path, i)
+		if len(child.Body) > 0 {
+			if q := s.deleteIn(p, t, append(append([]int{}, path...), i), len(child.Body)); q != nil {
+				return q
+			}
+		}
+	}
+	return nil
+}
+
+// rewriteStmts tries per-statement simplifications: unwrap loop/branch
+// bodies, and pull every numeric field toward zero.
+func (s *shrinker) rewriteStmts(p *Prog) *Prog {
+	var walk func(path []int, t int, stmts []Stmt) *Prog
+	walk = func(path []int, t int, stmts []Stmt) *Prog {
+		for i := range stmts {
+			st := &stmts[i]
+			at := append(append([]int{}, path...), i)
+			// Unwrap: replace a loop or branch with its body.
+			if (st.Kind == KLoop || st.Kind == KBranch) && len(st.Body) > 0 {
+				q := clone(p)
+				list := stmtList(q, t, path)
+				repl := append([]Stmt{}, (*list)[:i]...)
+				repl = append(repl, st.Body...)
+				repl = append(repl, (*list)[i+1:]...)
+				*list = repl
+				if s.try(q) {
+					return q
+				}
+			}
+			for _, cand := range numericShrinks(st) {
+				q := clone(p)
+				*stmtAtPath(q, t, at) = cand
+				if s.try(q) {
+					return q
+				}
+			}
+			if len(st.Body) > 0 {
+				if q := walk(at, t, st.Body); q != nil {
+					return q
+				}
+			}
+		}
+		return nil
+	}
+	for t := range p.Threads {
+		if q := walk(nil, t, p.Threads[t]); q != nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// numericShrinks proposes smaller variants of one statement.
+func numericShrinks(st *Stmt) []Stmt {
+	var out []Stmt
+	add := func(mut func(*Stmt)) {
+		c := *st
+		c.Body = st.Body
+		mut(&c)
+		out = append(out, c)
+	}
+	switch st.Kind {
+	case KLoop, KBusy:
+		for _, v := range []int64{1, st.N / 2} {
+			if v >= 1 && v != st.N {
+				v := v
+				add(func(c *Stmt) { c.N = v })
+			}
+		}
+	case KAdd, KLane, KPriv:
+		for _, v := range shrunkVals(st.N) {
+			v := v
+			add(func(c *Stmt) { c.N = v })
+		}
+	case KBranch:
+		for _, v := range shrunkVals(st.Pre) {
+			v := v
+			add(func(c *Stmt) { c.Pre = v })
+		}
+		for _, v := range shrunkVals(st.Rhs) {
+			v := v
+			add(func(c *Stmt) { c.Rhs = v })
+		}
+	}
+	return out
+}
+
+// shrunkVals proposes replacement constants closer to zero.
+func shrunkVals(v int64) []int64 {
+	if v == 0 {
+		return nil
+	}
+	cands := []int64{0, 1, -1, v / 2}
+	var out []int64
+	for _, c := range cands {
+		if c != v {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// stmtList resolves a path to the statement list it names.
+func stmtList(p *Prog, t int, path []int) *[]Stmt {
+	list := &p.Threads[t]
+	for _, i := range path {
+		list = &(*list)[i].Body
+	}
+	return list
+}
+
+// stmtAt returns the i'th statement of the list at path.
+func stmtAt(p *Prog, t int, path []int, i int) *Stmt {
+	return &(*stmtList(p, t, path))[i]
+}
+
+// stmtAtPath resolves a full path (ending in a statement index).
+func stmtAtPath(p *Prog, t int, path []int) *Stmt {
+	return stmtAt(p, t, path[:len(path)-1], path[len(path)-1])
+}
+
+// clone deep-copies a program via its JSON form (programs are tiny; the
+// shrinker favors obvious correctness over speed).
+func clone(p *Prog) *Prog {
+	data, err := json.Marshal(p)
+	if err != nil {
+		panic(err)
+	}
+	var q Prog
+	if err := json.Unmarshal(data, &q); err != nil {
+		panic(err)
+	}
+	return &q
+}

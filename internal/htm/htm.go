@@ -63,6 +63,11 @@ func (s *SpecSet) Mark(block int64, write bool) bool {
 // Len returns the number of blocks with speculative bits set.
 func (s *SpecSet) Len() int { return len(s.bits) }
 
+// Cap returns the set's block capacity. The fuzz harness checks generated
+// footprints against it so that speculative-metadata overflow (and the
+// OneTM-style abort it triggers) happens only when a test asks for it.
+func (s *SpecSet) Cap() int { return s.cap }
+
 // Clear removes all bits (commit or abort).
 func (s *SpecSet) Clear() {
 	for k := range s.bits {

@@ -149,3 +149,50 @@ func TestMacroExpansion(t *testing.T) {
 		t.Errorf("BusyLoop must assemble: %v", err)
 	}
 }
+
+func TestFetchAddMacro(t *testing.T) {
+	b := NewBuilder("t")
+	b.FetchAdd(R(4), 0x80, -3)
+	b.Halt()
+	p := b.MustAssemble()
+	if len(p.Instrs) != 4 {
+		t.Fatalf("FetchAdd expands to %d instructions, want 3 (+halt)", len(p.Instrs)-1)
+	}
+	if p.Instrs[0].Op != Ld || p.Instrs[1].Op != Addi || p.Instrs[2].Op != St {
+		t.Errorf("FetchAdd shape = %v %v %v, want ld/addi/st", p.Instrs[0].Op, p.Instrs[1].Op, p.Instrs[2].Op)
+	}
+	if p.Instrs[1].Imm != -3 || p.Instrs[0].Imm != 0x80 || p.Instrs[2].Imm != 0x80 {
+		t.Error("FetchAdd must target the absolute address with the given delta")
+	}
+}
+
+// TestProgramValidate covers the generator hook: structurally bad
+// programs (built outside the Builder) are rejected with errors instead
+// of panicking mid-simulation.
+func TestProgramValidate(t *testing.T) {
+	good := func() *Program {
+		b := NewBuilder("ok")
+		b.Li(R(1), 7)
+		b.Halt()
+		return b.MustAssemble()
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"empty", &Program{Name: "e"}},
+		{"unknown op", &Program{Name: "op", Instrs: []Instr{{Op: numOps}}}},
+		{"bad register", &Program{Name: "reg", Instrs: []Instr{{Op: Mov, Rd: Reg(40)}}}},
+		{"bad size", &Program{Name: "sz", Instrs: []Instr{{Op: Ld, Size: 3}}}},
+		{"target out of range", &Program{Name: "tgt", Instrs: []Instr{{Op: Jmp, Target: 9}}}},
+		{"negative target", &Program{Name: "neg", Instrs: []Instr{{Op: Beq, Target: -1}}}},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: must be rejected", c.name)
+		}
+	}
+}

@@ -29,6 +29,17 @@ func (b *Builder) HashMix(rd, key Reg, bits int64) {
 	b.Shri(rd, rd, 64-bits)
 }
 
+// FetchAdd emits the read-modify-write idiom on an absolute word address:
+// tmp = mem[addr]; tmp += delta; mem[addr] = tmp. Inside a transaction this
+// is the shared-counter pattern of Figure 2; the loaded value stays in tmp
+// so callers can branch on it or store it elsewhere. Program generators use
+// it as the canonical commutative shared update.
+func (b *Builder) FetchAdd(tmp Reg, addr, delta int64) {
+	b.Ld(tmp, Zero, addr, 8)
+	b.Addi(tmp, tmp, delta)
+	b.St(tmp, Zero, addr, 8)
+}
+
 // BusyLoop emits a delay loop that executes roughly 2*count+2 instructions,
 // using ctr as a scratch counter. It models private computation (parsing,
 // string processing, routing) that occupies the core without touching

@@ -119,6 +119,27 @@ func (m *Image) Read64(addr int64) int64 { return m.ReadInt(addr, 8) }
 // Write64 writes the 8-byte word at addr.
 func (m *Image) Write64(addr int64, v int64) { m.WriteInt(addr, 8, v) }
 
+// Equal reports whether two images hold identical bytes. Differential
+// harnesses use it to compare final architectural state across runs.
+func (m *Image) Equal(o *Image) bool {
+	if len(m.data) != len(o.data) {
+		return false
+	}
+	return string(m.data) == string(o.data)
+}
+
+// DiffWord returns the word address of the first 8-byte word at which the
+// images differ, or -1 when they are equal (or differ only in length).
+func (m *Image) DiffWord(o *Image) int64 {
+	n := min(len(m.data), len(o.data))
+	for a := 0; a+WordSize <= n; a += WordSize {
+		if string(m.data[a:a+WordSize]) != string(o.data[a:a+WordSize]) {
+			return int64(a)
+		}
+	}
+	return -1
+}
+
 // ReadBlockWords copies the 8 words of the block containing addr into dst.
 func (m *Image) ReadBlockWords(addr int64, dst *[WordsPerBlock]int64) {
 	base := BlockBase(addr)

@@ -118,3 +118,20 @@ func TestOutOfRangePanics(t *testing.T) {
 	}()
 	m.Read64(m.Size())
 }
+
+func TestEqualAndDiffWord(t *testing.T) {
+	a, b := NewImage(1<<12), NewImage(1<<12)
+	if !a.Equal(b) || a.DiffWord(b) != -1 {
+		t.Fatal("fresh images must be equal")
+	}
+	b.Write64(0x40, 7)
+	if a.Equal(b) {
+		t.Fatal("differing images must not be equal")
+	}
+	if w := a.DiffWord(b); w != 0x40 {
+		t.Fatalf("DiffWord = %#x, want 0x40", w)
+	}
+	if a.Equal(NewImage(1 << 13)) {
+		t.Fatal("different sizes must not be equal")
+	}
+}

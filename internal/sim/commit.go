@@ -139,11 +139,18 @@ func (m *Machine) finishCommit(c *Core, repairLat, txCycles int64) {
 	if m.traceEnabled() {
 		m.trace(c, "commit  ts=%d lifetime=%d cycles", c.Tx.TS, txCycles)
 	}
+	c.PC++
+	if m.commitHook != nil && m.hookErr == nil {
+		// Observe while the undo log is intact and before version-management
+		// state is discarded; PC already points past the TXCOMMIT.
+		if err := m.commitHook(m, c); err != nil {
+			m.hookErr = err
+		}
+	}
 	c.Tx.Commit()
 	c.Ret.Reset()
 	c.pendingTS = 0
 	c.Stats.Commits++
-	c.PC++
 	if repairLat > 0 {
 		c.setStall(m.Now+repairLat, CatOther)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/mem"
 )
 
 // exec runs one instruction on core c (1 IPC; multi-cycle operations stall
@@ -319,7 +320,21 @@ func (m *Machine) execBranch(c *Core, in *isa.Instr) bool {
 			op = core.MirrorBranch(op)
 		}
 		if sym.Valid {
-			iv := core.BranchConstraint(sym, op, rhs, taken, c.Ret.RootVal(sym.Root))
+			iv, ok := core.BranchConstraint(sym, op, rhs, taken, c.Ret.RootVal(sym.Root))
+			if !ok {
+				// No sound constraint exists (the observed outcome is
+				// inconsistent with the tracked root): fall back to an
+				// abort rather than commit under a mis-bounded
+				// constraint, and train the predictor down so the retry
+				// does not re-track the same root into the same dead end.
+				c.RetAgg.ConstraintFoldRejects++
+				c.Pred.ObserveViolation(mem.BlockOf(sym.Root))
+				if m.traceEnabled() {
+					m.trace(c, "reject  unfoldable %v constraint on word %#x", op, sym.Root)
+				}
+				m.abort(c, -1)
+				return false
+			}
 			if !c.Ret.Constrain(sym.Root, iv) {
 				m.structOverflowAbort(c, sym.Root)
 				return false

@@ -56,8 +56,10 @@ type Machine struct {
 	blockKeysBuf   []int64
 	traceW         io.Writer
 
-	sched    Scheduler
-	lazyAttr bool // event scheduler active: stall/barrier cycles attribute lazily
+	sched      Scheduler
+	commitHook CommitObserver
+	hookErr    error
+	lazyAttr   bool // event scheduler active: stall/barrier cycles attribute lazily
 	execID   int  // ID of the core currently executing (valid under lazyAttr)
 	// pendingWakes are cores rescheduled mid-cycle (remote abort, barrier
 	// release); the event scheduler adopts them after the cycle's batch.
@@ -76,6 +78,11 @@ func New(p Params, img *mem.Image, progs []*isa.Program) (*Machine, error) {
 	}
 	if len(progs) != p.Cores {
 		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), p.Cores)
+	}
+	for _, prog := range progs {
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	m := &Machine{
 		P:   p,
@@ -104,6 +111,21 @@ func New(p Params, img *mem.Image, progs []*isa.Program) (*Machine, error) {
 // SetScheduler replaces the cycle-loop scheduler selected by P.Sched —
 // the plug point for custom Scheduler implementations. Call before Run.
 func (m *Machine) SetScheduler(s Scheduler) { m.sched = s }
+
+// CommitObserver is called at the instant a transaction becomes permanent:
+// every store (including RETCON's pre-commit repair) has been applied to
+// the architectural image and the committing core's registers hold their
+// final (repaired) values, but the transaction's undo log is still intact.
+// Observers may inspect c.Tx (Undo, BeginPC, RegCkpt), c.Regs, c.PC and
+// m.Mem, and must not mutate machine state. A non-nil error stops the
+// simulation and is returned from Run — the hook point for external
+// correctness oracles (e.g. internal/fuzz's replay oracle, which checks
+// the paper's §4 claim that symbolic repair commits exactly the state a
+// replayed execution would).
+type CommitObserver func(m *Machine, c *Core) error
+
+// OnCommit installs a commit observer. Call before Run; nil disables.
+func (m *Machine) OnCommit(fn CommitObserver) { m.commitHook = fn }
 
 // Run simulates until every core halts, returning the result. It fails if
 // the cycle watchdog expires (a deadlocked or livelocked configuration,
@@ -134,6 +156,7 @@ func mergeAgg(dst, src *RetconAgg) {
 	dst.SumTxCycles += src.SumTxCycles
 	dst.ConstraintViolations += src.ConstraintViolations
 	dst.StructureOverflowAborts += src.StructureOverflowAborts
+	dst.ConstraintFoldRejects += src.ConstraintFoldRejects
 	dst.MaxLost = max(dst.MaxLost, src.MaxLost)
 	dst.MaxTracked = max(dst.MaxTracked, src.MaxTracked)
 	dst.MaxRegs = max(dst.MaxRegs, src.MaxRegs)

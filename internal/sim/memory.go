@@ -263,7 +263,7 @@ func (m *Machine) store(c *Core, addr int64, size uint8, data int64, dataSym cor
 			valWord := data
 			symOut := dataSym
 			if size != 8 {
-				cur, curSym, ok := m.currentWord(c, word, tracked)
+				cur, curSym, fromIVB, ok := m.currentWord(c, word, tracked)
 				if !ok {
 					// The word's prior contents are unknown without a
 					// coherence read; pin nothing — fall back to a normal
@@ -274,17 +274,37 @@ func (m *Machine) store(c *Core, addr int64, size uint8, data int64, dataSym cor
 					_, _, _, st = m.structOverflowAbort(c, curSym.Root)
 					return 0, st
 				}
+				if fromIVB {
+					// The unwritten bytes of the merged word come from the
+					// transaction-initial IVB snapshot of a block RETCON may
+					// release to remote writers without conflict. The merge
+					// is only valid at commit if the word still holds that
+					// value, so pin it with an equality constraint —
+					// otherwise the repair overwrites a remote core's
+					// conflict-free bytes with stale ones (fuzz-found
+					// lost-update bug; corpus: subword-lane-stale-merge).
+					if !c.Ret.Constrain(word, core.Point(cur)) {
+						_, _, _, st = m.structOverflowAbort(c, word)
+						return 0, st
+					}
+				}
 				valWord = mergeBytes(cur, addr, size, data)
 				symOut = core.SymVal{}
 			}
 			if c.Ret.PutStore(word, valWord, symOut) {
 				return 1, accessOK
 			}
-			// SSB full.
-			c.RetAgg.StructureOverflowAborts++
+			// SSB full. A store to a tracked block must abort — and train
+			// the predictor down on that block, or the retry re-tracks it
+			// into the identical overflow and the core livelocks until the
+			// watchdog (fuzz-found; corpus: ssb-overflow-livelock). An
+			// untracked store just falls back to the eager path, which is
+			// not an abort and must not count as one (fuzz-found
+			// accounting bug; the stats oracle pins overflow+violation
+			// counts <= aborts).
 			if tracked {
-				m.abort(c, -1)
-				return 0, accessAbort
+				_, _, _, st = m.structOverflowAbort(c, word)
+				return 0, st
 			}
 			if symOut.Valid && !c.Ret.PinSym(symOut) {
 				_, _, _, st = m.structOverflowAbort(c, symOut.Root)
@@ -298,17 +318,19 @@ func (m *Machine) store(c *Core, addr int64, size uint8, data int64, dataSym cor
 }
 
 // currentWord returns the current full-word contents at word for sub-word
-// merging, preferring the SSB, then the IVB. ok=false means the word is not
-// buffered anywhere (untracked block).
-func (m *Machine) currentWord(c *Core, word int64, tracked bool) (int64, core.SymVal, bool) {
+// merging, preferring the SSB, then the IVB. fromIVB distinguishes the
+// IVB source: those bytes are a transaction-initial snapshot and the
+// caller must pin the word. ok=false means the word is not buffered
+// anywhere (untracked block).
+func (m *Machine) currentWord(c *Core, word int64, tracked bool) (v int64, sym core.SymVal, fromIVB, ok bool) {
 	if e := c.Ret.Store(word); e != nil {
-		return e.Val, e.Sym, true
+		return e.Val, e.Sym, false, true
 	}
 	if tracked {
 		ivb := c.Ret.Tracked(mem.BlockOf(word))
-		return ivb.Word(word), core.SymVal{}, true
+		return ivb.Word(word), core.SymVal{}, true, true
 	}
-	return 0, core.SymVal{}, false
+	return 0, core.SymVal{}, false, false
 }
 
 // normalStore is the eager-path store: acquire write permission, set the

@@ -80,6 +80,9 @@ func (lockstepSched) Run(m *Machine) error {
 			return m.watchdogErr()
 		}
 		m.Step()
+		if m.hookErr != nil {
+			return m.hookErr
+		}
 	}
 	return nil
 }
@@ -195,6 +198,9 @@ func (eventSched) Run(m *Machine) error {
 			}
 		}
 		m.maybeReleaseBarrier()
+		if m.hookErr != nil {
+			return m.hookErr
+		}
 		// Adopt mid-cycle reschedules (remote aborts, barrier releases).
 		for _, id := range m.pendingWakes {
 			if c := m.Cores[id]; !c.halted && !c.barrierWait && c.scheduledWake > m.Now {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -539,5 +540,77 @@ func TestProgramMismatch(t *testing.T) {
 	img := mem.NewImage(1 << 16)
 	if _, err := New(testParams(2, Eager), img, nil); err == nil {
 		t.Error("program count mismatch must error")
+	}
+}
+
+// TestOnCommitObserver: the commit hook fires once per commit with the
+// undo log still intact, and a hook error stops the run under both
+// schedulers at the same simulated instant.
+func TestOnCommitObserver(t *testing.T) {
+	for _, kind := range []SchedKind{SchedLockstep, SchedEvent} {
+		img, _, progs := buildCounter(2, 3, 2, 4)
+		p := testParams(2, Eager)
+		p.Sched = kind
+		m, err := New(p, img, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var commits int
+		m.OnCommit(func(mm *Machine, c *Core) error {
+			commits++
+			if !c.Tx.Active {
+				t.Error("hook must run before version-management state is discarded")
+			}
+			if len(c.Tx.Undo) == 0 {
+				t.Error("undo log must still be intact in the hook")
+			}
+			return nil
+		})
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if commits != 2*3 {
+			t.Errorf("sched=%v: hook fired %d times, want 6", kind, commits)
+		}
+	}
+
+	errs := make(map[SchedKind]string, 2)
+	cycles := make(map[SchedKind]int64, 2)
+	for _, kind := range []SchedKind{SchedLockstep, SchedEvent} {
+		img, _, progs := buildCounter(2, 3, 1, 4)
+		p := testParams(2, Eager)
+		p.Sched = kind
+		m, err := New(p, img, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired := 0
+		m.OnCommit(func(mm *Machine, c *Core) error {
+			fired++
+			if fired == 3 {
+				return fmt.Errorf("stop at commit 3")
+			}
+			return nil
+		})
+		if _, err := m.Run(); err == nil {
+			t.Fatalf("sched=%v: hook error must propagate", kind)
+		} else {
+			errs[kind] = err.Error()
+			cycles[kind] = m.Now
+		}
+	}
+	if errs[SchedLockstep] != errs[SchedEvent] || cycles[SchedLockstep] != cycles[SchedEvent] {
+		t.Errorf("hook-error stops diverge: %q@%d vs %q@%d",
+			errs[SchedLockstep], cycles[SchedLockstep], errs[SchedEvent], cycles[SchedEvent])
+	}
+}
+
+// TestNewRejectsInvalidProgram: machine construction validates programs
+// (the fuzz-generator hook) instead of panicking mid-run.
+func TestNewRejectsInvalidProgram(t *testing.T) {
+	img := mem.NewImage(1 << 16)
+	bad := &isa.Program{Name: "bad", Instrs: []isa.Instr{{Op: isa.Jmp, Target: 99}}}
+	if _, err := New(testParams(1, Eager), img, []*isa.Program{bad}); err == nil {
+		t.Fatal("invalid program must be rejected at construction")
 	}
 }

@@ -59,6 +59,10 @@ type RetconAgg struct {
 	SumTxCycles                      int64
 	ConstraintViolations             int64
 	StructureOverflowAborts          int64
+	// ConstraintFoldRejects counts aborts taken because no sound interval
+	// constraint existed for a branch outcome (inconsistent tracking at
+	// the int64 wrap boundaries); see core.BranchConstraint.
+	ConstraintFoldRejects int64
 }
 
 func (a *RetconAgg) record(st core.TxStats, txCycles int64) {

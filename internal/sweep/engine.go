@@ -2,7 +2,6 @@ package sweep
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/sim"
 )
@@ -74,40 +73,18 @@ func (e *Engine) ExecuteStream(runs []Run, emit func(Outcome)) {
 		res *sim.Result
 		err error
 	}
-	results := make([]slot, len(uniq))
-	done := make([]chan struct{}, len(uniq))
-	for i := range done {
-		done[i] = make(chan struct{})
-	}
-
 	run := e.runner()
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := run(uniq[i])
-				results[i] = slot{res, err}
-				close(done[i])
-			}
-		}()
-	}
-	go func() {
-		for i := range uniq {
-			next <- i
-		}
-		close(next)
-	}()
+	get, wait := Dispatch(len(uniq), e.workers(), func(i int) slot {
+		res, err := run(uniq[i])
+		return slot{res, err}
+	})
 
 	// Emit in input order, blocking on each run's representative.
 	for i, r := range runs {
-		u := repr[i]
-		<-done[u]
-		emit(Outcome{Run: r, Res: results[u].res, Err: results[u].err})
+		s := get(repr[i])
+		emit(Outcome{Run: r, Res: s.res, Err: s.err})
 	}
-	wg.Wait()
+	wait()
 }
 
 // FirstErr returns the first per-run error in the outcomes, if any.

@@ -228,3 +228,27 @@ func TestOutcomeRecord(t *testing.T) {
 		t.Errorf("error record = %+v", errRec)
 	}
 }
+
+// TestDispatch covers the generic pool directly: results are delivered
+// per index, get blocks until ready, and wait drains the workers.
+func TestDispatch(t *testing.T) {
+	n := 50
+	get, wait := Dispatch(n, 4, func(i int) int { return i * i })
+	// Consume out of order on purpose.
+	for i := n - 1; i >= 0; i-- {
+		if got := get(i); got != i*i {
+			t.Fatalf("get(%d) = %d, want %d", i, got, i*i)
+		}
+	}
+	wait()
+	// Repeat gets are cheap and stable after completion.
+	if get(7) != 49 {
+		t.Fatal("repeat get must return the cached result")
+	}
+	// Zero workers falls back to GOMAXPROCS; n smaller than workers is fine.
+	get2, wait2 := Dispatch(1, 0, func(int) string { return "x" })
+	if get2(0) != "x" {
+		t.Fatal("single-item dispatch")
+	}
+	wait2()
+}

@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Dispatch fans fn over the indices [0, n) on a bounded pool of worker
+// goroutines and returns a blocking accessor: get(i) waits until item i
+// has been computed and returns its result (repeat calls are cheap), and
+// wait blocks until every worker has exited. workers <= 0 means
+// runtime.GOMAXPROCS(0).
+//
+// This is the engine's pool, factored out so other grid-shaped harnesses
+// (cmd/retcon-fuzz's seed ranges, for one) reuse the same ordered-
+// delivery machinery: results are produced concurrently but can be
+// consumed in any deterministic order the caller chooses, typically
+// input order for byte-stable streamed output.
+func Dispatch[T any](n, workers int, fn func(int) T) (get func(int) T, wait func()) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = max(n, 1)
+	}
+	results := make([]T, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = fn(i)
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	get = func(i int) T {
+		<-done[i]
+		return results[i]
+	}
+	return get, wg.Wait
+}

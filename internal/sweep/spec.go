@@ -47,14 +47,24 @@ type Override struct {
 	Params ParamPatch `json:"params"`
 }
 
-// Match selects expanded runs by axis value; nil/empty fields match
-// everything.
+// Match selects expanded runs by axis value; an absent field matches
+// everything. Cores and Seed are pointers so that presence is explicit:
+// `"seed": 0` targets seed 0, while omitting the key matches every seed
+// (the former int fields conflated the two, making seed 0 and cores 0
+// unmatchable). JSON spec files parse identically either way.
 type Match struct {
 	Workload string `json:"workload,omitempty"`
 	Mode     string `json:"mode,omitempty"`
-	Cores    int    `json:"cores,omitempty"`
-	Seed     int64  `json:"seed,omitempty"`
+	Cores    *int   `json:"cores,omitempty"`
+	Seed     *int64 `json:"seed,omitempty"`
 }
+
+// MatchCores returns a Cores matcher value (a convenience for building
+// Match literals in Go, where &4 is not an expression).
+func MatchCores(n int) *int { return &n }
+
+// MatchSeed returns a Seed matcher value.
+func MatchSeed(s int64) *int64 { return &s }
 
 func (m Match) accepts(workload string, mode sim.Mode, cores int, seed int64) (bool, error) {
 	if m.Workload != "" && m.Workload != workload {
@@ -69,10 +79,10 @@ func (m Match) accepts(workload string, mode sim.Mode, cores int, seed int64) (b
 			return false, nil
 		}
 	}
-	if m.Cores != 0 && m.Cores != cores {
+	if m.Cores != nil && *m.Cores != cores {
 		return false, nil
 	}
-	if m.Seed != 0 && m.Seed != seed {
+	if m.Seed != nil && *m.Seed != seed {
 		return false, nil
 	}
 	return true, nil

@@ -130,6 +130,71 @@ func TestExpandParamsAndOverrides(t *testing.T) {
 	}
 }
 
+// TestMatchPresenceSemantics pins the explicit-presence contract: an
+// absent Cores/Seed matcher matches every run, while a present one —
+// including the zero value — matches exactly that axis point. The former
+// int fields conflated "unset" with 0, so a matcher could never target
+// seed 0.
+func TestMatchPresenceSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Match
+		ok   bool
+	}{
+		{"empty matches all", Match{}, true},
+		{"seed present match", Match{Seed: MatchSeed(0)}, true},
+		{"seed present mismatch", Match{Seed: MatchSeed(1)}, false},
+		{"cores present match", Match{Cores: MatchCores(4)}, true},
+		{"cores present mismatch", Match{Cores: MatchCores(0)}, false},
+		{"all axes", Match{Workload: "counter", Mode: "eager", Cores: MatchCores(4), Seed: MatchSeed(0)}, true},
+		{"workload mismatch", Match{Workload: "genome"}, false},
+	}
+	for _, c := range cases {
+		got, err := c.m.accepts("counter", sim.Eager, 4, 0)
+		if err != nil || got != c.ok {
+			t.Errorf("%s: accepts = %v, %v; want %v", c.name, got, err, c.ok)
+		}
+	}
+	if _, err := (Match{Mode: "warp"}).accepts("counter", sim.Eager, 4, 0); err == nil {
+		t.Error("invalid mode matcher must error")
+	}
+}
+
+// TestMatchSeedZeroOverride: a spec override targeting seed 0 applies to
+// seed 0 only — end to end through JSON parsing, which must treat
+// `"seed": 0` as present.
+func TestMatchSeedZeroOverride(t *testing.T) {
+	specs, err := ParseSpecs(strings.NewReader(`{
+		"name": "z",
+		"workloads": ["counter"],
+		"modes": ["eager"],
+		"cores": [2],
+		"seeds": [0, 1],
+		"overrides": [
+			{"match": {"seed": 0}, "params": {"spec_capacity": 77}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := specs[0].Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("expanded %d runs, want 2", len(runs))
+	}
+	for _, r := range runs {
+		want := sim.DefaultParams().SpecCapacity
+		if r.Seed == 0 {
+			want = 77
+		}
+		if r.Params.SpecCapacity != want {
+			t.Errorf("seed %d: SpecCapacity = %d, want %d", r.Seed, r.Params.SpecCapacity, want)
+		}
+	}
+}
+
 func TestExpandRejectsUnknownWorkloadAndMode(t *testing.T) {
 	s := Spec{Name: "bad", Workloads: []string{"bogus"}}
 	if _, err := s.Expand(sim.DefaultParams()); err == nil {
