@@ -7,6 +7,8 @@
 #   make race        full test suite under the race detector
 #   make ci          what CI runs: vet + full tests
 #   make bench       time the cycle loop under both schedulers -> BENCH_sim.json
+#   make bench-smoke compile-and-run every benchmark once (the CI gate)
+#   make profile     CPU+heap profile of a conflict-heavy run -> cpu.pprof/mem.pprof
 #   make paperbench  regenerate the paper's figures and tables concurrently
 #   make fuzz        bounded differential-fuzz pass: corpus replay, a seed
 #                    sweep through cmd/retcon-fuzz, and 30s per native
@@ -15,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race ci bench paperbench fuzz fuzz-long
+.PHONY: build vet test test-short race ci bench bench-smoke profile paperbench fuzz fuzz-long
 
 build:
 	$(GO) build ./...
@@ -39,6 +41,18 @@ ci: vet test
 # every PR that moves the cycle loop also moves the committed record.
 bench: build
 	$(GO) run ./cmd/simbench -out BENCH_sim.json
+
+# Benchmark smoke: every benchmark in the tree compiles and survives one
+# iteration. CI runs this so benchmark code cannot rot unnoticed.
+bench-smoke: build
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Hot-path inspection: profile a conflict-heavy 64-core run and the
+# simulator benchmark set. Inspect with `go tool pprof cpu.pprof`.
+profile: build
+	$(GO) run ./cmd/retcon-sim -workload counter -cores 64 -mode eager -speedup=false \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
 
 paperbench: build
 	$(GO) run ./cmd/paperbench

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	retcon "repro"
 	"repro/internal/sim"
@@ -28,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads and exit")
 	speedup := flag.Bool("speedup", true, "also run the 1-core sequential baseline")
 	trace := flag.Bool("trace", false, "print a per-event transactional timeline (small runs only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +66,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := retcon.DefaultConfig()
 	cfg.Cores = *cores
 	cfg.Mode = mode
@@ -75,6 +93,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "retcon-sim:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+			os.Exit(1)
+		}
 	}
 
 	tot := res.Sim.Totals()

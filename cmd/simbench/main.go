@@ -1,9 +1,11 @@
 // Command simbench records the simulator's own performance trajectory:
 // wall-clock timings of the cycle loop under the lockstep reference
 // scheduler and the event-driven time-skip scheduler, on stall-heavy
-// configurations where time skipping matters. `make bench` runs it and
-// writes BENCH_sim.json at the repository root, so the trajectory is
-// versioned alongside the code that moved it.
+// configurations where time skipping matters, plus steady-state memory
+// behavior (allocations and bytes per thousand simulated cycles, measured
+// on a run-to-run reused machine). `make bench` runs it and writes
+// BENCH_sim.json at the repository root, so the trajectory is versioned
+// alongside the code that moved it.
 //
 // Every timed pair doubles as a differential check: the two schedulers'
 // Results must be deeply equal or simbench exits non-zero.
@@ -13,6 +15,7 @@
 //	simbench                      # summary table to stdout
 //	simbench -out BENCH_sim.json  # also write the JSON record
 //	simbench -reps 5              # best-of-5 timings
+//	simbench -cpuprofile cpu.out  # pprof the timed runs
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/sim"
@@ -30,13 +34,16 @@ import (
 
 // cases are the timed configurations: stall-heavy machines (NACK retries,
 // abort backoffs, DRAM misses, barrier imbalance) where the event
-// scheduler's time skipping pays, plus one busy-dominated control.
+// scheduler's time skipping pays — including the conflict-heavy shared
+// counter at high core counts — plus one busy-dominated control.
 var cases = []struct {
 	workload string
 	mode     sim.Mode
 	cores    int
 }{
 	{"counter", sim.Eager, 8},
+	{"counter", sim.Eager, 32},
+	{"counter", sim.Eager, 64},
 	{"counter", sim.RetCon, 16},
 	{"labyrinth", sim.Eager, 8},
 	{"labyrinth", sim.Eager, 64},
@@ -56,9 +63,16 @@ type Entry struct {
 	LockstepMS float64 `json:"lockstep_ms"`
 	EventMS    float64 `json:"event_ms"`
 	Speedup    float64 `json:"speedup"` // lockstep_ms / event_ms
+	// Steady-state memory behavior of the event-scheduler run on a reused
+	// machine (Machine.Reset between runs, as the sweep and fuzz harnesses
+	// execute): heap allocations and bytes per thousand simulated cycles,
+	// minimum over reps.
+	AllocsPerKCycle float64 `json:"allocs_per_kcycle"`
+	BytesPerKCycle  float64 `json:"bytes_per_kcycle"`
 }
 
-// File is the BENCH_sim.json schema.
+// File is the BENCH_sim.json schema. v2 adds the per-kcycle allocation
+// columns (schema "retcon-simbench/v2").
 type File struct {
 	Schema    string  `json:"schema"`
 	GoVersion string  `json:"go_version"`
@@ -70,6 +84,8 @@ func main() {
 	out := flag.String("out", "", "write the JSON record to this file (e.g. BENCH_sim.json)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (best time wins)")
 	seed := flag.Int64("seed", 1, "workload input seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -77,9 +93,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	rec := File{Schema: "retcon-simbench/v1", GoVersion: runtime.Version(), Reps: *reps}
-	fmt.Printf("%-12s %-8s %5s %14s %12s %12s %8s\n",
-		"workload", "mode", "cores", "cycles", "lockstep", "event", "speedup")
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rec := File{Schema: "retcon-simbench/v2", GoVersion: runtime.Version(), Reps: *reps}
+	fmt.Printf("%-12s %-8s %5s %14s %12s %12s %8s %10s %10s\n",
+		"workload", "mode", "cores", "cycles", "lockstep", "event", "speedup", "allocs/kc", "bytes/kc")
+	// One machine, reused across every rep of every configuration, is the
+	// steady state the sweep/fuzz harnesses run in — and doubles as an
+	// end-to-end check that Reset reuse is observationally invisible.
+	var machine *sim.Machine
 	for _, c := range cases {
 		w, err := workloads.Lookup(c.workload)
 		if err != nil {
@@ -87,6 +119,7 @@ func main() {
 		}
 		var times [2]time.Duration // indexed by SchedKind
 		var results [2]*sim.Result
+		allocsPerKC, bytesPerKC := 0.0, 0.0
 		for _, kind := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
 			best := time.Duration(0)
 			for r := 0; r < *reps; r++ {
@@ -95,13 +128,21 @@ func main() {
 				p.Cores = c.cores
 				p.Mode = c.mode
 				p.Sched = kind
-				m, err := sim.New(p, bundle.Mem, bundle.Programs)
+				if machine == nil {
+					machine, err = sim.New(p, bundle.Mem, bundle.Programs)
+				} else {
+					err = machine.Reset(p, bundle.Mem, bundle.Programs)
+				}
 				if err != nil {
 					fail(err)
 				}
+				var msBefore runtime.MemStats
+				runtime.ReadMemStats(&msBefore)
 				start := time.Now()
-				res, err := m.Run()
+				res, err := machine.Run()
 				elapsed := time.Since(start)
+				var msAfter runtime.MemStats
+				runtime.ReadMemStats(&msAfter)
 				if err != nil {
 					fail(fmt.Errorf("%s/%v/%d sched=%v: %w", c.workload, c.mode, c.cores, kind, err))
 				}
@@ -113,6 +154,17 @@ func main() {
 				if best == 0 || elapsed < best {
 					best = elapsed
 				}
+				if kind == sim.SchedEvent {
+					kc := float64(res.Cycles) / 1000
+					apk := float64(msAfter.Mallocs-msBefore.Mallocs) / kc
+					bpk := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / kc
+					if r == 0 || apk < allocsPerKC {
+						allocsPerKC = apk
+					}
+					if r == 0 || bpk < bytesPerKC {
+						bytesPerKC = bpk
+					}
+				}
 				results[kind] = res
 			}
 			times[kind] = best
@@ -121,20 +173,35 @@ func main() {
 			fail(fmt.Errorf("%s/%v/%d: schedulers produced different Results", c.workload, c.mode, c.cores))
 		}
 		e := Entry{
-			Workload:   c.workload,
-			Mode:       c.mode.String(),
-			Cores:      c.cores,
-			Seed:       *seed,
-			Cycles:     results[sim.SchedEvent].Cycles,
-			LockstepMS: float64(times[sim.SchedLockstep].Microseconds()) / 1000,
-			EventMS:    float64(times[sim.SchedEvent].Microseconds()) / 1000,
+			Workload:        c.workload,
+			Mode:            c.mode.String(),
+			Cores:           c.cores,
+			Seed:            *seed,
+			Cycles:          results[sim.SchedEvent].Cycles,
+			LockstepMS:      float64(times[sim.SchedLockstep].Microseconds()) / 1000,
+			EventMS:         float64(times[sim.SchedEvent].Microseconds()) / 1000,
+			AllocsPerKCycle: allocsPerKC,
+			BytesPerKCycle:  bytesPerKC,
 		}
 		if e.EventMS > 0 {
 			e.Speedup = e.LockstepMS / e.EventMS
 		}
 		rec.Entries = append(rec.Entries, e)
-		fmt.Printf("%-12s %-8s %5d %14d %10.1fms %10.1fms %7.2fx\n",
-			e.Workload, e.Mode, e.Cores, e.Cycles, e.LockstepMS, e.EventMS, e.Speedup)
+		fmt.Printf("%-12s %-8s %5d %14d %10.1fms %10.1fms %7.2fx %10.3f %10.1f\n",
+			e.Workload, e.Mode, e.Cores, e.Cycles, e.LockstepMS, e.EventMS, e.Speedup,
+			e.AllocsPerKCycle, e.BytesPerKCycle)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
 	}
 
 	if *out != "" {

@@ -11,12 +11,20 @@
 package cache
 
 // Cache is one level of a set-associative, LRU, timing-only cache.
+//
+// Line validity is watermark-based: a line is present only when its LRU
+// stamp is at least resetBase. Bulk reset (machine reuse between runs)
+// then just raises the watermark above every existing stamp — O(1) —
+// instead of memsetting megabytes of tag arrays per run; the stamp
+// counter itself is monotone across runs, so relative LRU order is
+// untouched. Individual invalidations still clear the tag explicitly.
 type Cache struct {
-	sets  int64
-	ways  int
-	tags  []int64 // sets*ways entries; -1 = invalid
-	lru   []int64 // last-use stamps, parallel to tags
-	stamp int64
+	sets      int64
+	ways      int
+	tags      []int64 // sets*ways entries; -1 = explicitly invalidated
+	lru       []int64 // last-use stamps, parallel to tags
+	stamp     int64
+	resetBase int64 // entries with lru < resetBase are invalid (pre-reset)
 
 	Hits   int64
 	Misses int64
@@ -33,19 +41,30 @@ func New(sizeBytes int64, ways int, blockSize int64) *Cache {
 	c := &Cache{sets: sets, ways: ways}
 	c.tags = make([]int64, sets*int64(ways))
 	c.lru = make([]int64, sets*int64(ways))
-	for i := range c.tags {
-		c.tags[i] = -1
-	}
+	c.Reset()
 	return c
 }
 
+// Reset empties the cache and zeroes its counters, keeping the tag arrays
+// (machine reuse across runs). It is O(1): the validity watermark moves
+// above every live stamp.
+func (c *Cache) Reset() {
+	c.resetBase = c.stamp + 1
+	c.Hits = 0
+	c.Misses = 0
+}
+
 func (c *Cache) set(block int64) int64 { return block & (c.sets - 1) }
+
+// valid reports whether entry i holds a live line.
+func (c *Cache) valid(i int64) bool { return c.tags[i] != -1 && c.lru[i] >= c.resetBase }
 
 // Contains reports whether the block is present without touching LRU state.
 func (c *Cache) Contains(block int64) bool {
 	base := c.set(block) * int64(c.ways)
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+int64(w)] == block {
+		i := base + int64(w)
+		if c.tags[i] == block && c.lru[i] >= c.resetBase {
 			return true
 		}
 	}
@@ -59,7 +78,7 @@ func (c *Cache) Lookup(block int64) bool {
 	base := c.set(block) * int64(c.ways)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
-		if c.tags[i] == block {
+		if c.tags[i] == block && c.lru[i] >= c.resetBase {
 			c.lru[i] = c.stamp
 			c.Hits++
 			return true
@@ -75,15 +94,18 @@ func (c *Cache) Lookup(block int64) bool {
 func (c *Cache) Access(block int64) (hit bool, victim int64) {
 	c.stamp++
 	base := c.set(block) * int64(c.ways)
-	victimIdx, victimLRU := base, c.lru[base]
+	victimIdx, victimLRU := base, int64(-1)
+	if c.valid(base) {
+		victimLRU = c.lru[base]
+	}
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
-		if c.tags[i] == block {
+		if c.tags[i] == block && c.lru[i] >= c.resetBase {
 			c.lru[i] = c.stamp
 			c.Hits++
 			return true, -1
 		}
-		if c.tags[i] == -1 {
+		if !c.valid(i) {
 			victimIdx, victimLRU = i, -1
 		} else if victimLRU >= 0 && c.lru[i] < victimLRU {
 			victimIdx, victimLRU = i, c.lru[i]
@@ -91,7 +113,7 @@ func (c *Cache) Access(block int64) (hit bool, victim int64) {
 	}
 	c.Misses++
 	victim = -1
-	if c.tags[victimIdx] != -1 {
+	if c.valid(victimIdx) {
 		victim = c.tags[victimIdx]
 	}
 	c.tags[victimIdx] = block
@@ -104,7 +126,7 @@ func (c *Cache) Invalidate(block int64) {
 	base := c.set(block) * int64(c.ways)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
-		if c.tags[i] == block {
+		if c.tags[i] == block && c.lru[i] >= c.resetBase {
 			c.tags[i] = -1
 			return
 		}
@@ -121,17 +143,41 @@ type Hierarchy struct {
 	// Latencies in cycles.
 	L1Hit int64
 	L2Hit int64
+
+	// Construction geometry, kept so ResetFor can tell a clearable
+	// hierarchy from one that must be rebuilt.
+	l1Bytes, l2Bytes, blockSize int64
+	ways                        int
 }
 
 // NewHierarchy builds the Table 1 configuration: 64KB 4-way L1 (1-cycle
 // hit), 1MB 4-way L2 (10-cycle hit), 64B blocks.
 func NewHierarchy(l1Bytes, l2Bytes int64, ways int, blockSize, l1Hit, l2Hit int64) *Hierarchy {
 	return &Hierarchy{
-		L1:    New(l1Bytes, ways, blockSize),
-		L2:    New(l2Bytes, ways, blockSize),
-		L1Hit: l1Hit,
-		L2Hit: l2Hit,
+		L1:        New(l1Bytes, ways, blockSize),
+		L2:        New(l2Bytes, ways, blockSize),
+		L1Hit:     l1Hit,
+		L2Hit:     l2Hit,
+		l1Bytes:   l1Bytes,
+		l2Bytes:   l2Bytes,
+		ways:      ways,
+		blockSize: blockSize,
 	}
+}
+
+// ResetFor returns an empty hierarchy with the requested configuration:
+// the receiver itself (cleared in place, reusing its tag arrays) when the
+// geometry matches, or a freshly built hierarchy otherwise. A nil receiver
+// always builds. This is the machine-reuse plug point.
+func (h *Hierarchy) ResetFor(l1Bytes, l2Bytes int64, ways int, blockSize, l1Hit, l2Hit int64) *Hierarchy {
+	if h == nil || h.l1Bytes != l1Bytes || h.l2Bytes != l2Bytes || h.ways != ways || h.blockSize != blockSize {
+		return NewHierarchy(l1Bytes, l2Bytes, ways, blockSize, l1Hit, l2Hit)
+	}
+	h.L1.Reset()
+	h.L2.Reset()
+	h.L1Hit = l1Hit
+	h.L2Hit = l2Hit
+	return h
 }
 
 // Probe performs a lookup for block and returns the access latency and

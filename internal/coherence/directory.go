@@ -20,6 +20,11 @@
 //     OneTM [5].
 package coherence
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // State is the directory-visible MSI state of a block.
 type State uint8
 
@@ -38,6 +43,11 @@ type Entry struct {
 	State   State
 	Owner   int    // core holding M, or NoOwner
 	Sharers uint64 // bitmap over cores (superset of true presence)
+
+	// epoch validates the entry against the directory's current run: an
+	// entry whose epoch lags is logically Invalid, which makes Reset O(1)
+	// instead of a sweep over every block.
+	epoch uint32
 }
 
 // HasSharer reports whether core c is in the sharer set.
@@ -54,12 +64,21 @@ type Latencies struct {
 	DRAMOccupancy int64
 }
 
-// Directory tracks every block ever referenced. Blocks never referenced
-// are implicitly Invalid.
+// Directory tracks every block of the memory image as one slot of a dense
+// array indexed by block number: the image's bump allocator yields a
+// compact 0..Blocks-1 block range, so the per-request map hash and
+// per-entry heap allocation of a sparse directory would sit directly on
+// the simulator's hottest path for no reach the model needs. Blocks never
+// referenced are implicitly Invalid.
 type Directory struct {
 	NumCores int
 	Lat      Latencies
-	entries  map[int64]*Entry
+	entries  []Entry
+	// blocks is the logical block count of the current image; the entry
+	// array is grow-only storage (machine reuse), so len(entries) may
+	// exceed it and bounds checks must use blocks, not capacity.
+	blocks int64
+	epoch  uint32
 
 	dramFree int64 // first cycle the memory controller is free
 	// DRAMAccesses counts memory lookups; DRAMQueue accumulates queuing
@@ -86,25 +105,68 @@ func (d *Directory) dram(now int64) int64 {
 	return lat
 }
 
-// New creates a directory for numCores cores.
-func New(numCores int, lat Latencies) *Directory {
-	return &Directory{NumCores: numCores, Lat: lat, entries: make(map[int64]*Entry)}
+// New creates a directory for numCores cores over a memory image of the
+// given block count (mem.Image.Blocks).
+func New(numCores int, blocks int64, lat Latencies) *Directory {
+	if blocks < 0 {
+		panic(fmt.Sprintf("coherence: negative block count %d", blocks))
+	}
+	return &Directory{NumCores: numCores, Lat: lat, entries: make([]Entry, blocks), blocks: blocks, epoch: 1}
 }
 
+// Reset prepares the directory for a fresh run over an image of the given
+// block count: every entry reverts to Invalid (by epoch, in O(1)) and the
+// memory-controller state and counters clear. The entry array only grows,
+// so a reused directory accommodates the largest image it has seen.
+func (d *Directory) Reset(numCores int, blocks int64, lat Latencies) {
+	if blocks > int64(len(d.entries)) {
+		d.entries = make([]Entry, blocks)
+	}
+	d.blocks = blocks
+	d.epoch++
+	if d.epoch == 0 {
+		// Epoch wrap: scrub stale epochs once every 2^32 resets so an
+		// ancient entry can never alias the fresh epoch.
+		clear(d.entries)
+		d.epoch = 1
+	}
+	d.NumCores = numCores
+	d.Lat = lat
+	d.dramFree = 0
+	d.DRAMAccesses = 0
+	d.DRAMQueue = 0
+}
+
+// Blocks returns the number of blocks of the current image the directory
+// covers (the backing array may be larger after a shrinking Reset).
+func (d *Directory) Blocks() int64 { return d.blocks }
+
 // Entry returns the directory entry for block, creating it as Invalid.
+// The block must lie inside the memory image the directory was sized for;
+// a simulated access outside it is a program-construction bug and fails
+// loudly here (the memory image applies the same bound to the data).
 func (d *Directory) Entry(block int64) *Entry {
-	e := d.entries[block]
-	if e == nil {
-		e = &Entry{Owner: NoOwner}
-		d.entries[block] = e
+	if block < 0 || block >= d.blocks {
+		panic(fmt.Sprintf("coherence: block %d outside the image (directory covers %d blocks)", block, d.blocks))
+	}
+	e := &d.entries[block]
+	if e.epoch != d.epoch {
+		*e = Entry{Owner: NoOwner, epoch: d.epoch}
 	}
 	return e
 }
 
-// Peek returns the entry if it exists, without creating one.
+// Peek returns the entry if the block has been referenced this run,
+// without creating one. Out-of-image blocks fail loudly, as in Entry.
 func (d *Directory) Peek(block int64) (*Entry, bool) {
-	e, ok := d.entries[block]
-	return e, ok
+	if block < 0 || block >= d.blocks {
+		panic(fmt.Sprintf("coherence: block %d outside the image (directory covers %d blocks)", block, d.blocks))
+	}
+	e := &d.entries[block]
+	if e.epoch != d.epoch {
+		return nil, false
+	}
+	return e, true
 }
 
 // ReadTargets returns the core whose copy must be downgraded before core c
@@ -126,10 +188,10 @@ func (d *Directory) WriteTargets(c int, block int64, dst []int) []int {
 		dst = append(dst, e.Owner)
 		return dst
 	}
-	for i := 0; i < d.NumCores; i++ {
-		if i != c && e.HasSharer(i) {
-			dst = append(dst, i)
-		}
+	// Iterate set bits only: sharer sets are sparse, and a per-write scan
+	// over all NumCores costs real time at 64 cores.
+	for rem := e.Sharers &^ (1 << uint(c)); rem != 0; rem &= rem - 1 {
+		dst = append(dst, bits.TrailingZeros64(rem))
 	}
 	return dst
 }
@@ -196,7 +258,7 @@ func (d *Directory) ApplyWrite(c int, block int64, now int64) int64 {
 // releases a symbolically tracked block, and by tests). Losing M ownership
 // reverts the block to Shared among the remaining sharers.
 func (d *Directory) Drop(c int, block int64) {
-	e, ok := d.entries[block]
+	e, ok := d.Peek(block)
 	if !ok {
 		return
 	}

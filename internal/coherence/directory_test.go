@@ -5,7 +5,7 @@ import "testing"
 func lat() Latencies { return Latencies{Hop: 20, DRAM: 100} }
 
 func TestColdReadGoesToDRAM(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	if got := d.ReadTargets(0, 5); got != NoOwner {
 		t.Fatal("cold block has no owner to downgrade")
 	}
@@ -20,7 +20,7 @@ func TestColdReadGoesToDRAM(t *testing.T) {
 }
 
 func TestWriteInvalidatesSharers(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	d.ApplyRead(0, 5, 0)
 	d.ApplyRead(1, 5, 0)
 	targets := d.WriteTargets(2, 5, nil)
@@ -38,7 +38,7 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 }
 
 func TestReadDowngradesOwner(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	d.ApplyWrite(1, 7, 0)
 	if got := d.ReadTargets(0, 7); got != 1 {
 		t.Fatalf("read target = %d, want owner 1", got)
@@ -54,7 +54,7 @@ func TestReadDowngradesOwner(t *testing.T) {
 }
 
 func TestSilentUpgradeLatency(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	d.ApplyRead(0, 9, 0)
 	// Sole sharer upgrading: no invalidations, no DRAM.
 	l := d.ApplyWrite(0, 9, 0)
@@ -64,7 +64,7 @@ func TestSilentUpgradeLatency(t *testing.T) {
 }
 
 func TestOwnWriteHit(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	d.ApplyWrite(0, 9, 0)
 	if targets := d.WriteTargets(0, 9, nil); len(targets) != 0 {
 		t.Errorf("owner re-write has no targets, got %v", targets)
@@ -72,7 +72,7 @@ func TestOwnWriteHit(t *testing.T) {
 }
 
 func TestDrop(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	d.ApplyWrite(3, 11, 0)
 	d.Drop(3, 11)
 	e := d.Entry(11)
@@ -85,7 +85,7 @@ func TestDrop(t *testing.T) {
 func TestDRAMQueuing(t *testing.T) {
 	l := lat()
 	l.DRAMOccupancy = 16
-	d := New(4, l)
+	d := New(4, 1024, l)
 	// Two cold reads of different blocks at the same cycle: the second
 	// queues behind the first at the memory controller.
 	l1 := d.ApplyRead(0, 1, 100)
@@ -107,7 +107,7 @@ func TestDRAMQueuing(t *testing.T) {
 }
 
 func TestPeek(t *testing.T) {
-	d := New(4, lat())
+	d := New(4, 1024, lat())
 	if _, ok := d.Peek(42); ok {
 		t.Error("Peek must not create entries")
 	}
@@ -115,4 +115,75 @@ func TestPeek(t *testing.T) {
 	if _, ok := d.Peek(42); !ok {
 		t.Error("Peek must find existing entries")
 	}
+}
+
+func TestDirectoryBounds(t *testing.T) {
+	d := New(4, 8, lat())
+	if d.Blocks() != 8 {
+		t.Fatalf("Blocks = %d, want 8", d.Blocks())
+	}
+	d.Entry(7) // last valid block
+	for _, block := range []int64{8, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Entry(%d) on an 8-block directory must panic", block)
+				}
+			}()
+			d.Entry(block)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Peek(%d) on an 8-block directory must panic", block)
+				}
+			}()
+			d.Peek(block)
+		}()
+	}
+}
+
+func TestDirectoryReset(t *testing.T) {
+	d := New(4, 16, lat())
+	d.ApplyWrite(2, 5, 100)
+	if e, ok := d.Peek(5); !ok || e.State != Modified {
+		t.Fatal("setup: block 5 must be Modified")
+	}
+	if d.DRAMAccesses == 0 {
+		t.Fatal("setup: the write must have counted a DRAM access")
+	}
+	d.Reset(4, 16, lat())
+	if _, ok := d.Peek(5); ok {
+		t.Error("Reset must invalidate every entry")
+	}
+	if e := d.Entry(5); e.State != Invalid || e.Owner != NoOwner || e.Sharers != 0 {
+		t.Errorf("entry after Reset: %+v, want pristine Invalid", e)
+	}
+	if d.DRAMAccesses != 0 || d.DRAMQueue != 0 {
+		t.Error("Reset must clear the memory-controller counters")
+	}
+	// Reset grows the directory for a larger image.
+	d.Reset(4, 64, lat())
+	if d.Blocks() != 64 {
+		t.Errorf("Blocks after growing Reset = %d, want 64", d.Blocks())
+	}
+	d.Entry(63)
+}
+
+func TestDirectoryResetShrinks(t *testing.T) {
+	d := New(4, 64, lat())
+	d.ApplyWrite(1, 50, 0)
+	// Reset for a smaller image: the backing array is grow-only, but the
+	// logical bound must shrink with the image so out-of-image accesses
+	// still fail loudly.
+	d.Reset(4, 16, lat())
+	if d.Blocks() != 16 {
+		t.Errorf("Blocks after shrinking Reset = %d, want 16", d.Blocks())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Entry(50) after a shrink to 16 blocks must panic")
+		}
+	}()
+	d.Entry(50)
 }

@@ -34,6 +34,13 @@ type SSBEntry struct {
 	Sym      SymVal // !Valid => concrete store
 }
 
+// Constraint is one constraint-buffer entry: an interval bound on a root
+// word's committed value.
+type Constraint struct {
+	Word int64
+	Iv   Interval
+}
+
 // Config sizes the RETCON structures (Table 1: 16-entry initial value
 // buffer, 16-entry constraint buffer, 32-entry symbolic store buffer).
 type Config struct {
@@ -63,72 +70,103 @@ type TxStats struct {
 }
 
 // State is one core's RETCON state for the currently executing transaction.
+//
+// The three buffers are value-typed slices kept sorted by address: at
+// Table 1 sizes (16 IVB blocks, 32 SSB words, 16 constraints) a short
+// sorted scan beats a map hash, entries need no per-entry allocation, the
+// address-order commit drain of Figure 7 is the natural iteration order
+// (no sort at commit), and constraint validation is deterministic by
+// construction rather than by map-iteration-order discipline.
 type State struct {
 	Cfg Config
 
-	IVB         map[int64]*IVBEntry // keyed by block number
-	SSB         map[int64]*SSBEntry // keyed by word address
-	Constraints map[int64]Interval  // keyed by root word address
-	Regs        [isa.NumRegs]SymVal
+	ivb  []IVBEntry   // sorted by Block
+	ssb  []SSBEntry   // sorted by WordAddr
+	cons []Constraint // sorted by Word
+	Regs [isa.NumRegs]SymVal
 }
 
 // NewState creates RETCON state with the given configuration.
 func NewState(cfg Config) *State {
-	return &State{
-		Cfg:         cfg,
-		IVB:         make(map[int64]*IVBEntry),
-		SSB:         make(map[int64]*SSBEntry),
-		Constraints: make(map[int64]Interval),
-	}
+	return &State{Cfg: cfg}
 }
 
-// Reset clears all symbolic state (transaction commit or abort).
+// Reset clears all symbolic state (transaction commit or abort), keeping
+// the buffers.
 func (s *State) Reset() {
-	for k := range s.IVB {
-		delete(s.IVB, k)
-	}
-	for k := range s.SSB {
-		delete(s.SSB, k)
-	}
-	for k := range s.Constraints {
-		delete(s.Constraints, k)
-	}
+	s.ivb = s.ivb[:0]
+	s.ssb = s.ssb[:0]
+	s.cons = s.cons[:0]
 	s.Regs = [isa.NumRegs]SymVal{}
 }
 
 // Empty reports whether no symbolic state is held.
 func (s *State) Empty() bool {
-	return len(s.IVB) == 0 && len(s.SSB) == 0 && len(s.Constraints) == 0
+	return len(s.ivb) == 0 && len(s.ssb) == 0 && len(s.cons) == 0
+}
+
+// ivbIndex returns the position of block in the IVB: its index when
+// present (found), else the sorted insertion point.
+func (s *State) ivbIndex(block int64) (i int, found bool) {
+	for i = range s.ivb {
+		if s.ivb[i].Block >= block {
+			return i, s.ivb[i].Block == block
+		}
+	}
+	return len(s.ivb), false
 }
 
 // Track begins symbolic tracking of the block containing addr, snapshotting
 // its current words from the image. It reports false when the IVB is full.
 func (s *State) Track(block int64, img *mem.Image) (*IVBEntry, bool) {
-	if e, ok := s.IVB[block]; ok {
-		return e, true
+	i, found := s.ivbIndex(block)
+	if found {
+		return &s.ivb[i], true
 	}
-	if len(s.IVB) >= s.Cfg.IVBEntries {
+	if len(s.ivb) >= s.Cfg.IVBEntries {
 		return nil, false
 	}
-	e := &IVBEntry{Block: block}
+	s.ivb = append(s.ivb, IVBEntry{})
+	copy(s.ivb[i+1:], s.ivb[i:])
+	e := &s.ivb[i]
+	*e = IVBEntry{Block: block}
 	img.ReadBlockWords(block<<mem.BlockShift, &e.Words)
-	s.IVB[block] = e
 	return e, true
 }
 
-// Tracked returns the IVB entry for the block containing the byte address,
-// or nil.
-func (s *State) Tracked(block int64) *IVBEntry { return s.IVB[block] }
+// Tracked returns the IVB entry for the block, or nil. The pointer is
+// valid until the next Track or Reset.
+func (s *State) Tracked(block int64) *IVBEntry {
+	if i, found := s.ivbIndex(block); found {
+		return &s.ivb[i]
+	}
+	return nil
+}
+
+// TrackedBlocks returns the live IVB entries in block-address order. The
+// slice aliases the buffer: callers may refresh entries in place (the
+// pre-commit reacquire does) but must not retain it across Track or Reset.
+func (s *State) TrackedBlocks() []IVBEntry { return s.ivb }
 
 // MarkLost records that a tracked block was stolen by a remote writer.
 // It reports whether the block was tracked.
 func (s *State) MarkLost(block int64) bool {
-	e, ok := s.IVB[block]
-	if !ok {
+	e := s.Tracked(block)
+	if e == nil {
 		return false
 	}
 	e.Lost = true
 	return true
+}
+
+// consIndex returns the position of word in the constraint buffer.
+func (s *State) consIndex(word int64) (i int, found bool) {
+	for i = range s.cons {
+		if s.cons[i].Word >= word {
+			return i, s.cons[i].Word == word
+		}
+	}
+	return len(s.cons), false
 }
 
 // Constrain intersects a new constraint on the root word. It reports false
@@ -139,15 +177,26 @@ func (s *State) Constrain(wordAddr int64, iv Interval) bool {
 	if iv.IsFull() {
 		return true
 	}
-	if cur, ok := s.Constraints[wordAddr]; ok {
-		s.Constraints[wordAddr] = cur.Intersect(iv)
+	i, found := s.consIndex(wordAddr)
+	if found {
+		s.cons[i].Iv = s.cons[i].Iv.Intersect(iv)
 		return true
 	}
-	if len(s.Constraints) >= s.Cfg.ConstraintEntries {
+	if len(s.cons) >= s.Cfg.ConstraintEntries {
 		return false
 	}
-	s.Constraints[wordAddr] = iv
+	s.cons = append(s.cons, Constraint{})
+	copy(s.cons[i+1:], s.cons[i:])
+	s.cons[i] = Constraint{Word: wordAddr, Iv: iv}
 	return true
+}
+
+// ConstraintOn returns the constraint recorded for the root word, if any.
+func (s *State) ConstraintOn(wordAddr int64) (Interval, bool) {
+	if i, found := s.consIndex(wordAddr); found {
+		return s.cons[i].Iv, true
+	}
+	return Interval{}, false
 }
 
 // ConstrainEqualInitial sets an equality constraint pinning the root word
@@ -155,7 +204,7 @@ func (s *State) Constrain(wordAddr int64, iv Interval) bool {
 // symbolic input feeds computation that cannot be tracked symbolically).
 // It reports false when the constraint buffer is full.
 func (s *State) ConstrainEqualInitial(wordAddr int64) bool {
-	e := s.IVB[mem.BlockOf(wordAddr)]
+	e := s.Tracked(mem.BlockOf(wordAddr))
 	if e == nil {
 		// The root of a symbolic value is always tracked; a missing entry
 		// means the word was never symbolic, so there is nothing to pin.
@@ -173,30 +222,54 @@ func (s *State) PinSym(v SymVal) bool {
 	return s.ConstrainEqualInitial(v.Root)
 }
 
+// ssbIndex returns the position of word in the SSB.
+func (s *State) ssbIndex(word int64) (i int, found bool) {
+	for i = range s.ssb {
+		if s.ssb[i].WordAddr >= word {
+			return i, s.ssb[i].WordAddr == word
+		}
+	}
+	return len(s.ssb), false
+}
+
 // PutStore records a store into the SSB. The caller has already merged
 // sub-word data into a full word. Reports false when the SSB is full.
 func (s *State) PutStore(wordAddr int64, val int64, sym SymVal) bool {
-	if e, ok := s.SSB[wordAddr]; ok {
-		e.Val = val
-		e.Sym = sym
+	i, found := s.ssbIndex(wordAddr)
+	if found {
+		s.ssb[i].Val = val
+		s.ssb[i].Sym = sym
 		return true
 	}
-	if len(s.SSB) >= s.Cfg.SSBEntries {
+	if len(s.ssb) >= s.Cfg.SSBEntries {
 		return false
 	}
-	s.SSB[wordAddr] = &SSBEntry{WordAddr: wordAddr, Val: val, Sym: sym}
-	if ivb := s.IVB[mem.BlockOf(wordAddr)]; ivb != nil {
+	s.ssb = append(s.ssb, SSBEntry{})
+	copy(s.ssb[i+1:], s.ssb[i:])
+	s.ssb[i] = SSBEntry{WordAddr: wordAddr, Val: val, Sym: sym}
+	if ivb := s.Tracked(mem.BlockOf(wordAddr)); ivb != nil {
 		ivb.Written = true
 	}
 	return true
 }
 
-// Store returns the SSB entry for the word address, or nil.
-func (s *State) Store(wordAddr int64) *SSBEntry { return s.SSB[wordAddr] }
+// Store returns the SSB entry for the word address, or nil. The pointer is
+// valid until the next PutStore or Reset.
+func (s *State) Store(wordAddr int64) *SSBEntry {
+	if i, found := s.ssbIndex(wordAddr); found {
+		return &s.ssb[i]
+	}
+	return nil
+}
+
+// Stores returns the live SSB entries in word-address order — the Figure 7
+// commit-drain order. The slice aliases the buffer and must not be
+// retained across PutStore or Reset.
+func (s *State) Stores() []SSBEntry { return s.ssb }
 
 // RootVal returns the current recorded value of a symbolic root word.
 func (s *State) RootVal(root int64) int64 {
-	e := s.IVB[mem.BlockOf(root)]
+	e := s.Tracked(mem.BlockOf(root))
 	if e == nil {
 		panic("core: symbolic root is not tracked in the IVB")
 	}
@@ -214,35 +287,34 @@ func (s *State) EvalSym(v SymVal) int64 {
 // CheckConstraints validates every constraint against the recorded root
 // values (which the pre-commit process has refreshed to final values).
 // It returns the lowest violated root word address, or -1 if all hold.
-// The choice must not depend on map iteration order: the returned word
-// trains the conflict predictor, so a nondeterministic pick would leak
-// into simulated timing.
+// The buffer is sorted by word, so the scan is deterministic by
+// construction — the returned word trains the conflict predictor, where a
+// nondeterministic pick would leak into simulated timing.
 func (s *State) CheckConstraints() int64 {
-	violated := int64(-1)
-	for word, iv := range s.Constraints {
-		if !iv.Contains(s.RootVal(word)) && (violated < 0 || word < violated) {
-			violated = word
+	for i := range s.cons {
+		if !s.cons[i].Iv.Contains(s.RootVal(s.cons[i].Word)) {
+			return s.cons[i].Word
 		}
 	}
-	return violated
+	return -1
 }
 
 // Stats summarizes the transaction's structure utilization (Table 3
 // columns; CommitCycles is filled in by the simulator).
 func (s *State) Stats() TxStats {
 	st := TxStats{
-		BlocksTracked:   len(s.IVB),
-		PrivateStores:   len(s.SSB),
-		ConstraintAddrs: len(s.Constraints),
+		BlocksTracked:   len(s.ivb),
+		PrivateStores:   len(s.ssb),
+		ConstraintAddrs: len(s.cons),
 	}
-	for _, e := range s.IVB {
-		if e.Lost {
+	for i := range s.ivb {
+		if s.ivb[i].Lost {
 			st.BlocksLost++
 		}
 	}
 	for _, r := range s.Regs {
 		if r.Valid {
-			if e := s.IVB[mem.BlockOf(r.Root)]; e != nil && e.Lost {
+			if e := s.Tracked(mem.BlockOf(r.Root)); e != nil && e.Lost {
 				st.SymRegsRepaired++
 			}
 		}

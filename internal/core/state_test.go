@@ -74,7 +74,7 @@ func TestConstraintBufferCapacity(t *testing.T) {
 	if !s.Constrain(0x100, Interval{Lo: 0, Hi: 5}) {
 		t.Error("constraining an existing word must succeed when full")
 	}
-	if got := s.Constraints[0x100]; got.Lo != 1 || got.Hi != 1 {
+	if got, ok := s.ConstraintOn(0x100); !ok || got.Lo != 1 || got.Hi != 1 {
 		t.Errorf("intersection = %v, want [1,1]", got)
 	}
 	// Full constraints are dropped without consuming an entry.
@@ -150,7 +150,7 @@ func TestConstrainEqualInitial(t *testing.T) {
 	if !s.ConstrainEqualInitial(base + 8) {
 		t.Fatal("equality pin must succeed")
 	}
-	if got := s.Constraints[base+8]; got.Lo != 42 || got.Hi != 42 {
+	if got, ok := s.ConstraintOn(base + 8); !ok || got.Lo != 42 || got.Hi != 42 {
 		t.Errorf("equality constraint = %v, want [42,42]", got)
 	}
 	// Pinning an untracked word is a no-op success.

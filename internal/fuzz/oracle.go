@@ -124,6 +124,11 @@ type replayErr struct{ inner error }
 
 func (e *replayErr) Error() string { return e.inner.Error() }
 
+// machines recycles simulators across the harness's runs (6 per checked
+// program: 3 modes x 2 schedulers, times however many seeds a campaign
+// sweeps). Reset guarantees reuse cannot change any oracle's verdict.
+var machines sim.MachinePool
+
 func runSched(p *Prog, mode sim.Mode, kind sim.SchedKind, o Options) *runOut {
 	img, progs, _, err := Compile(p)
 	if err != nil {
@@ -143,10 +148,11 @@ func runSched(p *Prog, mode sim.Mode, kind sim.SchedKind, o Options) *runOut {
 	if p.SSB > 0 {
 		params.Retcon.SSBEntries = p.SSB
 	}
-	m, err := sim.New(params, img, progs)
+	m, err := machines.Get(params, img, progs)
 	if err != nil {
 		return &runOut{err: err}
 	}
+	defer machines.Put(m)
 	// The stats oracle asserts Overflows == 0, which is only a fair
 	// invariant if a transaction's worst-case footprint (every shared
 	// block plus the core's private block) fits the machine's speculative

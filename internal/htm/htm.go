@@ -14,71 +14,95 @@ type SpecBits struct {
 	Written bool
 }
 
+// specEntry is one occupied SpecSet slot, stored inline by value.
+type specEntry struct {
+	block int64
+	bits  SpecBits
+}
+
 // SpecSet is the bounded set of blocks a transaction has speculatively
 // accessed. Its capacity models the L1's tag capacity plus the
 // permissions-only cache; on the paper's workloads it never fills (the
 // simulator records an overflow statistic and aborts the transaction if it
 // ever does, mirroring a OneTM fallback without modeling its serialized
-// mode). Entries are stored by value — conflict checks run on every
-// coherence request, so the per-block pointer chase (and allocation)
-// would sit directly on the simulator's hottest path.
+// mode). Entries live inline in a small buffer scanned linearly: conflict
+// checks run on every coherence request, transactions touch a handful of
+// blocks, and at that occupancy a linear scan over inline values beats a
+// map hash — and allocates nothing.
 type SpecSet struct {
-	bits map[int64]SpecBits
-	cap  int
+	entries []specEntry
+	cap     int
 }
 
 // NewSpecSet creates a SpecSet with the given block capacity.
 func NewSpecSet(capacity int) *SpecSet {
-	return &SpecSet{bits: make(map[int64]SpecBits), cap: capacity}
+	return &SpecSet{cap: capacity}
+}
+
+// find returns the index of block in the entry buffer, or -1.
+func (s *SpecSet) find(block int64) int {
+	for i := range s.entries {
+		if s.entries[i].block == block {
+			return i
+		}
+	}
+	return -1
 }
 
 // Get returns the bits for block and whether any are set.
 func (s *SpecSet) Get(block int64) (SpecBits, bool) {
-	b, ok := s.bits[block]
-	return b, ok
+	if i := s.find(block); i >= 0 {
+		return s.entries[i].bits, true
+	}
+	return SpecBits{}, false
 }
 
 // Has reports whether block has any speculative bits set.
-func (s *SpecSet) Has(block int64) bool {
-	_, ok := s.bits[block]
-	return ok
-}
+func (s *SpecSet) Has(block int64) bool { return s.find(block) >= 0 }
 
 // Mark sets the read or written bit for block. It reports false when the
 // set is full and the block is not already present (overflow).
 func (s *SpecSet) Mark(block int64, write bool) bool {
-	b, ok := s.bits[block]
-	if !ok && len(s.bits) >= s.cap {
-		return false
+	i := s.find(block)
+	if i < 0 {
+		if len(s.entries) >= s.cap {
+			return false
+		}
+		s.entries = append(s.entries, specEntry{block: block})
+		i = len(s.entries) - 1
 	}
 	if write {
-		b.Written = true
+		s.entries[i].bits.Written = true
 	} else {
-		b.Read = true
+		s.entries[i].bits.Read = true
 	}
-	s.bits[block] = b
 	return true
 }
 
 // Len returns the number of blocks with speculative bits set.
-func (s *SpecSet) Len() int { return len(s.bits) }
+func (s *SpecSet) Len() int { return len(s.entries) }
 
 // Cap returns the set's block capacity. The fuzz harness checks generated
 // footprints against it so that speculative-metadata overflow (and the
 // OneTM-style abort it triggers) happens only when a test asks for it.
 func (s *SpecSet) Cap() int { return s.cap }
 
-// Clear removes all bits (commit or abort).
-func (s *SpecSet) Clear() {
-	for k := range s.bits {
-		delete(s.bits, k)
+// SetCap changes the capacity (machine reuse across configurations). The
+// set must be empty.
+func (s *SpecSet) SetCap(capacity int) {
+	if len(s.entries) != 0 {
+		panic("htm: SetCap on a non-empty SpecSet")
 	}
+	s.cap = capacity
 }
 
-// Blocks calls fn for every block with bits set.
+// Clear removes all bits (commit or abort), keeping the buffer.
+func (s *SpecSet) Clear() { s.entries = s.entries[:0] }
+
+// Blocks calls fn for every block with bits set, in insertion order.
 func (s *SpecSet) Blocks(fn func(block int64, b SpecBits)) {
-	for k, v := range s.bits {
-		fn(k, v)
+	for i := range s.entries {
+		fn(s.entries[i].block, s.entries[i].bits)
 	}
 }
 
@@ -111,6 +135,23 @@ type Tx struct {
 // NewTx creates transactional state with the given spec-set capacity.
 func NewTx(specCapacity int) *Tx {
 	return &Tx{Spec: NewSpecSet(specCapacity)}
+}
+
+// Reset returns the Tx to its freshly-constructed state with the given
+// spec-set capacity, keeping the undo log's and spec set's buffers
+// (machine reuse across runs).
+func (t *Tx) Reset(specCapacity int) {
+	t.Active = false
+	t.TS = 0
+	t.BeginPC = 0
+	t.RegCkpt = [isa.NumRegs]int64{}
+	t.Undo = t.Undo[:0]
+	t.Spec.Clear()
+	t.Spec.SetCap(specCapacity)
+	t.Aborts = 0
+	t.StartCycle = 0
+	t.AccumBusy = 0
+	t.AccumOther = 0
 }
 
 // Begin starts (or restarts) a transaction at pc with the given timestamp

@@ -15,7 +15,10 @@ type Predictor struct {
 	// constraint violation before tracking is attempted again.
 	ViolationPenalty int
 
-	entries map[int64]*predEntry
+	// entries is value-typed: predictor lookups sit on the symbolic-mode
+	// load path, and pointer-valued entries would add a heap allocation
+	// per trained block.
+	entries map[int64]predEntry
 }
 
 type predEntry struct {
@@ -26,49 +29,48 @@ type predEntry struct {
 // NewPredictor creates a predictor with the paper's parameters
 // (promote quickly, 100-conflict penalty after a violated constraint).
 func NewPredictor(promoteAfter, violationPenalty int) *Predictor {
-	if promoteAfter < 1 {
-		promoteAfter = 1
-	}
-	return &Predictor{
-		PromoteAfter:     promoteAfter,
-		ViolationPenalty: violationPenalty,
-		entries:          make(map[int64]*predEntry),
-	}
-}
-
-func (p *Predictor) entry(block int64) *predEntry {
-	e := p.entries[block]
-	if e == nil {
-		e = &predEntry{}
-		p.entries[block] = e
-	}
-	return e
+	p := &Predictor{entries: make(map[int64]predEntry)}
+	p.ResetTo(promoteAfter, violationPenalty)
+	return p
 }
 
 // Tracks reports whether loads from block should initiate symbolic
 // tracking.
 func (p *Predictor) Tracks(block int64) bool {
-	e, ok := p.entries[block]
-	return ok && e.tracking
+	return p.entries[block].tracking
 }
 
 // ObserveConflict trains the predictor up: the core aborted, was stalled,
 // or aborted a peer because of block.
 func (p *Predictor) ObserveConflict(block int64) {
-	e := p.entry(block)
+	e := p.entries[block]
 	e.conflicts++
 	if !e.tracking && e.conflicts >= p.PromoteAfter {
 		e.tracking = true
 	}
+	p.entries[block] = e
 }
 
 // ObserveViolation trains the predictor down after a symbolic constraint
 // on the block failed at commit.
 func (p *Predictor) ObserveViolation(block int64) {
-	e := p.entry(block)
+	e := p.entries[block]
 	e.tracking = false
 	e.conflicts = -p.ViolationPenalty + p.PromoteAfter
+	p.entries[block] = e
 }
 
-// Reset forgets all history (used between independent benchmark runs).
-func (p *Predictor) Reset() { p.entries = make(map[int64]*predEntry) }
+// Reset forgets all history (used between independent benchmark runs),
+// keeping the table's storage.
+func (p *Predictor) Reset() { clear(p.entries) }
+
+// ResetTo is Reset with new training parameters (machine reuse across
+// configurations).
+func (p *Predictor) ResetTo(promoteAfter, violationPenalty int) {
+	if promoteAfter < 1 {
+		promoteAfter = 1
+	}
+	p.PromoteAfter = promoteAfter
+	p.ViolationPenalty = violationPenalty
+	p.Reset()
+}

@@ -37,18 +37,26 @@ type Image struct {
 	brk  int64
 }
 
-// NewImage creates a memory image of the given size in bytes. The first
-// block is reserved so that address 0 is never a valid allocation (workloads
-// use 0 as a null/empty sentinel).
+// NewImage creates a memory image of the given size in bytes, rounded up
+// to a whole number of cache blocks so that every byte of the image lies in
+// a complete block (the coherence directory is a dense per-block array
+// sized by Blocks). The first block is reserved so that address 0 is never
+// a valid allocation (workloads use 0 as a null/empty sentinel).
 func NewImage(size int64) *Image {
 	if size < 2*BlockSize {
 		size = 2 * BlockSize
 	}
+	size = (size + BlockSize - 1) &^ (BlockSize - 1)
 	return &Image{data: make([]byte, size), brk: BlockSize}
 }
 
 // Size returns the total size of the image in bytes.
 func (m *Image) Size() int64 { return int64(len(m.data)) }
+
+// Blocks returns the number of cache blocks the image spans. Block numbers
+// 0..Blocks()-1 are exactly the valid blocks; any access outside them is
+// out of the image and fails loudly.
+func (m *Image) Blocks() int64 { return int64(len(m.data)) >> BlockShift }
 
 // Alloc reserves n bytes aligned to align (a power of two, at least 1) and
 // returns the base address. It panics when the image is exhausted; workload

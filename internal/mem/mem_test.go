@@ -135,3 +135,24 @@ func TestEqualAndDiffWord(t *testing.T) {
 		t.Fatal("different sizes must not be equal")
 	}
 }
+
+func TestBlocks(t *testing.T) {
+	m := NewImage(1 << 12)
+	if got := m.Blocks(); got != (1<<12)/BlockSize {
+		t.Errorf("Blocks = %d, want %d", got, (1<<12)/BlockSize)
+	}
+	if m.Size() != m.Blocks()*BlockSize {
+		t.Errorf("image size %d is not a whole number of blocks", m.Size())
+	}
+	// Odd sizes round up to whole blocks so every byte lies in a valid
+	// block (the dense directory is sized by Blocks).
+	odd := NewImage(3*BlockSize + 1)
+	if odd.Blocks() != 4 || odd.Size() != 4*BlockSize {
+		t.Errorf("odd image: %d blocks, %d bytes; want 4 blocks of %d", odd.Blocks(), odd.Size(), BlockSize)
+	}
+	// The minimum image still reserves block 0 and has a valid block range.
+	tiny := NewImage(1)
+	if tiny.Blocks() != 2 {
+		t.Errorf("minimum image has %d blocks, want 2", tiny.Blocks())
+	}
+}

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"sort"
-
 	"repro/internal/core"
 	"repro/internal/mem"
 )
@@ -44,24 +42,20 @@ func (m *Machine) commitRepair(c *Core) {
 	var repairLat int64
 	var maxReacquire int64
 
-	// Step 1: reacquire tracked blocks in deterministic (address) order.
-	blocks := m.blockKeysBuf[:0]
-	for b := range c.Ret.IVB {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	m.blockKeysBuf = blocks[:0]
-
-	for _, b := range blocks {
-		e := c.Ret.IVB[b]
+	// Step 1: reacquire tracked blocks. The IVB is kept sorted by block, so
+	// iterating it is already the deterministic address order Figure 7
+	// requires — no keys to collect, no sort.
+	ivb := c.Ret.TrackedBlocks()
+	for i := range ivb {
+		e := &ivb[i]
 		// The written-bit optimization (§4.4): reacquire with write intent
 		// when the block will also be stored to, avoiding an upgrade miss.
-		lat, st := m.memAccess(c, b, e.Written, true, false)
+		lat, st := m.memAccess(c, e.Block, e.Written, true, false)
 		if st != accessOK {
 			return // aborted by an older conflicting transaction
 		}
 		if e.Written {
-			if !c.Tx.Spec.Mark(b, false) { // also mark read for atomicity
+			if !c.Tx.Spec.Mark(e.Block, false) { // also mark read for atomicity
 				c.Stats.Overflows++
 				m.abort(c, -1)
 				return
@@ -71,7 +65,7 @@ func (m *Machine) commitRepair(c *Core) {
 		if lat > maxReacquire {
 			maxReacquire = lat
 		}
-		m.Mem.ReadBlockWords(b<<mem.BlockShift, &e.Words)
+		m.Mem.ReadBlockWords(e.Block<<mem.BlockShift, &e.Words)
 		e.Lost = false
 	}
 	if m.P.IdealParallelReacquire {
@@ -83,23 +77,18 @@ func (m *Machine) commitRepair(c *Core) {
 		c.RetAgg.ConstraintViolations++
 		c.Pred.ObserveViolation(mem.BlockOf(w))
 		if m.traceEnabled() {
-			m.trace(c, "violate constraint %v on word %#x (value %d)", c.Ret.Constraints[w], w, c.Ret.RootVal(w))
+			iv, _ := c.Ret.ConstraintOn(w)
+			m.trace(c, "violate constraint %v on word %#x (value %d)", iv, w, c.Ret.RootVal(w))
 		}
 		m.abort(c, -1)
 		return
 	}
 
-	// Step 2: drain the symbolic store buffer in address order.
-	words := make([]int64, 0, len(c.Ret.SSB))
-	for w := range c.Ret.SSB {
-		words = append(words, w)
-	}
-	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
-
-	for _, w := range words {
-		e := c.Ret.SSB[w]
-		b := mem.BlockOf(w)
-		lat, st := m.memAccess(c, b, true, true, false)
+	// Step 2: drain the symbolic store buffer, sorted by word address.
+	ssb := c.Ret.Stores()
+	for i := range ssb {
+		e := &ssb[i]
+		lat, st := m.memAccess(c, mem.BlockOf(e.WordAddr), true, true, false)
 		if st != accessOK {
 			return // aborted
 		}
@@ -110,8 +99,8 @@ func (m *Machine) commitRepair(c *Core) {
 		if e.Sym.Valid {
 			v = c.Ret.EvalSym(e.Sym)
 		}
-		c.Tx.LogStore(w, 8, m.Mem.Read64(w))
-		m.Mem.Write64(w, v)
+		c.Tx.LogStore(e.WordAddr, 8, m.Mem.Read64(e.WordAddr))
+		m.Mem.Write64(e.WordAddr, v)
 	}
 
 	// Repair symbolic registers with final values.

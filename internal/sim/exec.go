@@ -11,10 +11,10 @@ import (
 // exec runs one instruction on core c (1 IPC; multi-cycle operations stall
 // the core for their remaining latency).
 func (m *Machine) exec(c *Core) {
-	if c.PC < 0 || c.PC >= len(c.Prog.Instrs) {
+	if uint(c.PC) >= uint(len(c.instrs)) {
 		panic(fmt.Sprintf("sim: core %d PC %d out of range in %q", c.ID, c.PC, c.Prog.Name))
 	}
-	in := &c.Prog.Instrs[c.PC]
+	in := &c.instrs[c.PC]
 	c.Stats.Instrs++
 
 	switch in.Op {
@@ -136,15 +136,18 @@ func (m *Machine) setRegSym(c *Core, r isa.Reg, sym core.SymVal) {
 // pinAddressSym handles a symbolic register used in address computation:
 // RETCON cannot track addresses symbolically, so the root is pinned to its
 // initial value (§4.2 equality-constraint rule). Returns false if the
-// transaction aborted on constraint-buffer overflow.
+// transaction aborted on constraint-buffer overflow. The mode and validity
+// screens stay in this small inlinable wrapper so eager-mode loads and
+// stores pay a pair of branches, not a call.
 func (m *Machine) pinAddressSym(c *Core, base isa.Reg) bool {
-	if m.P.Mode != RetCon || !c.Tx.Active {
+	if m.P.Mode != RetCon || !c.Tx.Active || !c.Ret.Regs[base].Valid {
 		return true
 	}
+	return m.pinAddressSymSlow(c, base)
+}
+
+func (m *Machine) pinAddressSymSlow(c *Core, base isa.Reg) bool {
 	s := c.Ret.Regs[base]
-	if !s.Valid {
-		return true
-	}
 	if !c.Ret.PinSym(s) {
 		m.structOverflowAbort(c, s.Root)
 		return false
@@ -214,6 +217,14 @@ func (m *Machine) execALU(c *Core, in *isa.Instr) bool {
 
 // propagateSym updates the symbolic register file for an ALU instruction.
 func (m *Machine) propagateSym(c *Core, in *isa.Instr, concreteRs2 int64) bool {
+	if !c.Ret.Regs[in.Rs1].Valid && !c.Ret.Regs[in.Rs2].Valid {
+		// Concrete inputs, concrete output — the overwhelmingly common
+		// case, handled without the per-op switch.
+		if in.Rd != isa.Zero {
+			c.Ret.Regs[in.Rd] = core.SymVal{}
+		}
+		return true
+	}
 	s1 := c.Ret.Regs[in.Rs1]
 	s2 := c.Ret.Regs[in.Rs2]
 	var out core.SymVal

@@ -16,8 +16,11 @@ import (
 type Core struct {
 	ID   int
 	Prog *isa.Program
-	PC   int
-	Regs [isa.NumRegs]int64
+	// instrs caches Prog.Instrs: instruction fetch is once per simulated
+	// cycle, and the extra indirection through Prog costs real time there.
+	instrs []isa.Instr
+	PC     int
+	Regs   [isa.NumRegs]int64
 
 	Hier *cache.Hierarchy
 	Tx   *htm.Tx
@@ -31,12 +34,17 @@ type Core struct {
 	stallUntil  int64 // core is stalled while Now <= stallUntil
 	stallCat    Category
 
+	// nackProbe* memoize the cache-hierarchy probe of a NACKed miss so the
+	// retry skips the (unchanged) L1+L2 walk; see memAccess.
+	nackProbeValid bool
+	nackProbeBlock int64
+	nackProbeLat   int64
+
 	// attributedUntil is the last cycle this core has accounted for under
-	// the event scheduler's lazy attribution, and scheduledWake the cycle
-	// of its one live schedule entry (see sched.go). The lockstep
-	// scheduler attributes eagerly and ignores both.
+	// the event scheduler's lazy attribution (its wake time lives in the
+	// dense Machine.wakes array; see sched.go). The lockstep scheduler
+	// attributes eagerly and ignores it.
 	attributedUntil int64
-	scheduledWake   int64
 
 	Stats  CoreStats
 	RetAgg RetconAgg
@@ -53,17 +61,33 @@ type Machine struct {
 	tsCounter      int64
 	barrierArrived int
 	targetsBuf     []int
-	blockKeysBuf   []int64
 	traceW         io.Writer
 
 	sched      Scheduler
 	commitHook CommitObserver
 	hookErr    error
 	lazyAttr   bool // event scheduler active: stall/barrier cycles attribute lazily
-	execID   int  // ID of the core currently executing (valid under lazyAttr)
-	// pendingWakes are cores rescheduled mid-cycle (remote abort, barrier
-	// release); the event scheduler adopts them after the cycle's batch.
+	execID     int  // ID of the core currently executing (valid under lazyAttr)
+	// wakes is the event scheduler's per-core wake table: one slot per
+	// core holding its next wake cycle (parked when none). Mid-cycle
+	// reschedules (remote aborts, barrier releases) overwrite the victim's
+	// slot and record the ID in pendingWakes so the wheel-based large-
+	// machine loop can adopt the new wake (the scan loop reads the table
+	// directly and just drains the list).
+	wakes        []int64
 	pendingWakes []int
+	// nextReady and minStall are the scan scheduler's dense-cycle fast
+	// path: the IDs already scheduled for Now+1, and a lower bound on the
+	// earliest timed wake (see runScan).
+	nextReady []int
+	minStall  int64
+	// wheel is the large-machine wake queue, kept across runs so its slot
+	// arrays are reused (runWheel resets it in place).
+	wheel *wakeWheel
+	// allCores holds every core ever constructed for this machine; Cores
+	// aliases its prefix, so a core-count shrink does not discard the
+	// higher cores' allocations for a later grow.
+	allCores []*Core
 	// syncDirty is set when an executed instruction may have changed the
 	// barrier-release condition (a BARRIER arrival or a HALT); the release
 	// check runs only on such cycles instead of every cycle.
@@ -71,41 +95,113 @@ type Machine struct {
 }
 
 // New builds a machine running the given per-core programs over the given
-// memory image. len(progs) must equal p.Cores.
+// memory image. len(progs) must equal p.Cores. The coherence directory is
+// sized densely over the image's block range, so every simulated access
+// must target the image (out-of-image accesses fail loudly in both the
+// directory and the image itself).
 func New(p Params, img *mem.Image, progs []*isa.Program) (*Machine, error) {
-	if err := p.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reset(p, img, progs); err != nil {
 		return nil, err
 	}
+	return m, nil
+}
+
+// Reset rebuilds the machine in place for a fresh run: after a successful
+// Reset the machine is observationally identical to sim.New(p, img, progs)
+// — same cycle counts, statistics, and trace output — but reuses the
+// previous run's allocations (directory array, cache tag arrays, undo
+// logs, spec sets, RETCON buffers, predictor tables, scheduler buffers)
+// wherever the new configuration's geometry allows. Grid harnesses keep
+// one machine per worker and Reset it between runs instead of
+// reconstructing the world per run.
+//
+// Reset scrubs ALL run state: core registers/PCs/stalls, transactional and
+// symbolic state, predictor training, cache contents, directory entries
+// and memory-controller queue state, timestamps, and the commit observer
+// and trace writer (reinstall them after Reset if needed).
+func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	if len(progs) != p.Cores {
-		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), p.Cores)
+		return fmt.Errorf("sim: %d programs for %d cores", len(progs), p.Cores)
 	}
 	for _, prog := range progs {
 		if err := prog.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+			return fmt.Errorf("sim: %w", err)
 		}
 	}
-	m := &Machine{
-		P:   p,
-		Mem: img,
-		Dir: coherence.New(p.Cores, p.latencies()),
+	m.P = p
+	m.Mem = img
+	if m.Dir == nil {
+		m.Dir = coherence.New(p.Cores, img.Blocks(), p.latencies())
+	} else {
+		m.Dir.Reset(p.Cores, img.Blocks(), p.latencies())
 	}
+	specCap := p.SpecCapacity
+	if p.IdealUnlimited {
+		specCap = 1 << 30
+	}
+	retCfg := p.retconConfig()
+	// allCores retains every core ever constructed: a reuse sequence that
+	// shrinks the core count and later grows it again gets its old cores
+	// (and their cache/undo/buffer allocations) back instead of fresh ones.
 	for i := 0; i < p.Cores; i++ {
-		specCap := p.SpecCapacity
-		if p.IdealUnlimited {
-			specCap = 1 << 30
+		if i == len(m.allCores) {
+			m.allCores = append(m.allCores, &Core{ID: i})
 		}
-		c := &Core{
-			ID:   i,
-			Prog: progs[i],
-			Hier: cache.NewHierarchy(p.L1Bytes, p.L2Bytes, p.Ways, mem.BlockSize, p.L1Hit, p.L2Hit),
-			Tx:   htm.NewTx(specCap),
-			Ret:  core.NewState(p.retconConfig()),
-			Pred: htm.NewPredictor(p.PromoteAfter, p.ViolationPenalty),
+		c := m.allCores[i]
+		c.Prog = progs[i]
+		c.instrs = progs[i].Instrs
+		c.PC = 0
+		c.Regs = [isa.NumRegs]int64{}
+		c.Hier = c.Hier.ResetFor(p.L1Bytes, p.L2Bytes, p.Ways, mem.BlockSize, p.L1Hit, p.L2Hit)
+		if c.Tx == nil {
+			c.Tx = htm.NewTx(specCap)
+		} else {
+			c.Tx.Reset(specCap)
 		}
-		m.Cores = append(m.Cores, c)
+		if c.Ret == nil {
+			c.Ret = core.NewState(retCfg)
+		} else {
+			c.Ret.Cfg = retCfg
+			c.Ret.Reset()
+		}
+		if c.Pred == nil {
+			c.Pred = htm.NewPredictor(p.PromoteAfter, p.ViolationPenalty)
+		} else {
+			c.Pred.ResetTo(p.PromoteAfter, p.ViolationPenalty)
+		}
+		c.pendingTS = 0
+		c.nackProbeValid = false
+		c.halted = false
+		c.barrierWait = false
+		c.stallUntil = 0
+		c.stallCat = CatBusy
+		c.attributedUntil = 0
+		c.Stats = CoreStats{}
+		c.RetAgg = RetconAgg{}
 	}
+	m.Cores = m.allCores[:p.Cores]
+	if cap(m.wakes) < p.Cores {
+		m.wakes = make([]int64, p.Cores)
+	}
+	m.wakes = m.wakes[:p.Cores]
+	m.pendingWakes = m.pendingWakes[:0]
+	m.nextReady = m.nextReady[:0]
+	m.minStall = 0
+	m.Now = 0
+	m.tsCounter = 0
+	m.barrierArrived = 0
+	m.traceW = nil
 	m.sched = newScheduler(p.Sched)
-	return m, nil
+	m.commitHook = nil
+	m.hookErr = nil
+	m.lazyAttr = false
+	m.execID = 0
+	m.syncDirty = false
+	return nil
 }
 
 // SetScheduler replaces the cycle-loop scheduler selected by P.Sched —
@@ -192,7 +288,9 @@ func (m *Machine) Step() {
 	for _, c := range m.Cores {
 		m.stepCore(c)
 	}
-	m.maybeReleaseBarrier()
+	if m.syncDirty {
+		m.releaseBarrier()
+	}
 }
 
 func (m *Machine) stepCore(c *Core) {
@@ -207,15 +305,13 @@ func (m *Machine) stepCore(c *Core) {
 	}
 }
 
-// maybeReleaseBarrier checks the barrier-release condition, but only on
-// cycles where an executed BARRIER or HALT could have changed it: the
-// condition depends solely on the arrival count and the number of live
-// cores, both of which change only through execution, so idle cycles
-// cannot newly satisfy it.
-func (m *Machine) maybeReleaseBarrier() {
-	if !m.syncDirty {
-		return
-	}
+// releaseBarrier re-evaluates the barrier-release condition. Callers gate
+// it on syncDirty, so it runs only on cycles where an executed BARRIER or
+// HALT could have changed the condition: it depends solely on the arrival
+// count and the number of live cores, both of which change only through
+// execution, so idle cycles cannot newly satisfy it (and the gate check
+// itself stays inlined in the cycle loops).
+func (m *Machine) releaseBarrier() {
 	m.syncDirty = false
 	if m.barrierArrived == 0 {
 		return
@@ -235,7 +331,7 @@ func (m *Machine) maybeReleaseBarrier() {
 			// release cycle, as lockstep would) before clearing the flag,
 			// and schedule the core for the next cycle.
 			m.settle(c, m.Now)
-			c.scheduledWake = m.Now + 1
+			m.wakes[c.ID] = m.Now + 1
 			m.pendingWakes = append(m.pendingWakes, c.ID)
 		}
 		c.barrierWait = false
@@ -293,7 +389,7 @@ func (m *Machine) abort(c *Core, blameBlock int64) {
 	c.Tx.Aborts++
 	c.Stats.Aborts++
 	if blameBlock >= 0 {
-		c.Pred.ObserveConflict(blameBlock)
+		m.observeConflict(c, blameBlock)
 	}
 	if m.traceEnabled() {
 		m.trace(c, "abort   attempt=%d blame=block %#x, restart pc=%d", c.Tx.Aborts, blameBlock, c.PC)
@@ -302,10 +398,13 @@ func (m *Machine) abort(c *Core, blameBlock int64) {
 	c.setStall(m.Now+backoff, CatConflict)
 	if m.lazyAttr && c.ID != m.execID {
 		// The backoff replaces whatever wake the victim had scheduled (it
-		// may end earlier than the stall it cuts short): hand the event
-		// scheduler the new one. The executing core reschedules itself
-		// after its turn.
-		c.scheduledWake = c.stallUntil + 1
+		// may end earlier than the stall it cuts short): overwrite its
+		// wake slot. The executing core reschedules itself after its turn.
+		w := c.stallUntil + 1
+		m.wakes[c.ID] = w
+		if w < m.minStall {
+			m.minStall = w
+		}
 		m.pendingWakes = append(m.pendingWakes, c.ID)
 	}
 }
@@ -314,4 +413,15 @@ func (m *Machine) abort(c *Core, blameBlock int64) {
 func (m *Machine) nextTS() int64 {
 	m.tsCounter++
 	return m.tsCounter
+}
+
+// observeConflict trains the tracking predictor on a conflict. In eager
+// mode the predictor's decisions are never consulted (no load ever
+// initiates symbolic tracking), so training it there would be write-only
+// work on the NACK/abort hot path — skip it. Lazy-vb and RETCON train as
+// the paper describes.
+func (m *Machine) observeConflict(c *Core, block int64) {
+	if m.P.Mode != Eager {
+		c.Pred.ObserveConflict(block)
+	}
 }

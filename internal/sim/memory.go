@@ -59,7 +59,7 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 			continue
 		}
 		// Holder wins: requester is stalled (or aborted during pre-commit).
-		c.Pred.ObserveConflict(block)
+		m.observeConflict(c, block)
 		if allowNack {
 			c.Stats.Nacks++
 			if m.traceEnabled() {
@@ -112,8 +112,24 @@ func olderWins(c, h *Core) bool {
 // memAccess performs the cache-hierarchy plus (if needed) directory access
 // for core c touching block. setSpec marks the transaction's speculative
 // bit. It returns the total latency and the outcome.
+//
+// A NACKed miss memoizes its probe (nackProbe*): the retry re-issues the
+// identical access, and a miss cannot become a hit while the core is
+// stalled — only the core's own fills insert into its private hierarchy —
+// so re-walking both cache levels on every retry would burn time on
+// exactly the conflict-heavy runs the event scheduler targets. Probes
+// that hit are never memoized (their LRU-stamp updates are architectural
+// input to later victim choices); a skipped miss-probe touches no LRU
+// state, so replaying it is unobservable.
 func (m *Machine) memAccess(c *Core, block int64, isWrite, setSpec, allowNack bool) (int64, accessStatus) {
-	hlat, missToDir := c.Hier.Probe(block)
+	var hlat int64
+	missToDir := true
+	if c.nackProbeValid && c.nackProbeBlock == block {
+		hlat = c.nackProbeLat
+	} else {
+		hlat, missToDir = c.Hier.Probe(block)
+	}
+	c.nackProbeValid = false
 	needDir := missToDir
 	if isWrite && !needDir {
 		// A cached copy does not imply write permission; only the modified
@@ -126,6 +142,11 @@ func (m *Machine) memAccess(c *Core, block int64, isWrite, setSpec, allowNack bo
 	if needDir {
 		dlat, st := m.coherentRequest(c, block, isWrite, allowNack)
 		if st != accessOK {
+			if st == accessNack && missToDir {
+				c.nackProbeValid = true
+				c.nackProbeBlock = block
+				c.nackProbeLat = hlat
+			}
 			return 0, st
 		}
 		lat += dlat

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// MachinePool recycles Machines across runs: Get returns a pooled machine
+// Reset for the requested configuration (or builds one when the pool is
+// empty), Put makes a finished machine available for reuse. Because Reset
+// makes a reused machine observationally identical to a fresh sim.New,
+// pooling changes wall-clock and allocation behavior only — never results.
+// Grid harnesses (internal/sweep, internal/fuzz, cmd/simbench) use one
+// shared pool so each worker goroutine effectively keeps one warm machine
+// instead of reconstructing the directory, caches, and per-core structures
+// for every run.
+//
+// The zero value is ready to use.
+type MachinePool struct {
+	pool sync.Pool
+}
+
+// Get returns a machine for the configuration, reusing a pooled one when
+// available. The caller runs it and should Put it back when done.
+func (mp *MachinePool) Get(p Params, img *mem.Image, progs []*isa.Program) (*Machine, error) {
+	if v := mp.pool.Get(); v != nil {
+		m := v.(*Machine)
+		if err := m.Reset(p, img, progs); err != nil {
+			mp.pool.Put(m)
+			return nil, err
+		}
+		return m, nil
+	}
+	return New(p, img, progs)
+}
+
+// Put returns a machine to the pool. The machine's image, program,
+// observer and trace references are dropped so a pooled machine pins no
+// run state (only its own reusable buffers).
+func (mp *MachinePool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	m.Mem = nil
+	m.commitHook = nil
+	m.traceW = nil
+	for _, c := range m.allCores {
+		c.Prog = nil
+		c.instrs = nil
+	}
+	mp.pool.Put(m)
+}

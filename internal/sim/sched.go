@@ -99,35 +99,227 @@ func (lockstepSched) Run(m *Machine) error {
 // busy/other accumulators that abort reattribution subtracts, and the
 // core-ID-order tie-breaks within a cycle.
 //
-// Bookkeeping: every live, non-barrier-waiting core always holds exactly
-// one live schedule — an entry in readyNext (due next cycle), the wake
-// heap (due at a stall expiry), or pendingWakes (rescheduled mid-cycle by
-// an abort or barrier release). Core.scheduledWake is the cycle of that
-// live schedule; heap entries that no longer match it are stale and are
-// dropped when encountered. The same match is re-checked at a core's
-// execution turn, so duplicate due-entries (a rescheduled wake colliding
-// with a stale one) execute at most once.
+// Bookkeeping: every core has exactly one wake time, held in the dense
+// Machine.wakes array indexed by core ID (rewritten in place by mid-cycle
+// reschedules — remote aborts, barrier releases — so there are no stale
+// queue entries to filter at the source of truth). Two wake-queue
+// strategies sit on top of that array, chosen by machine size:
+//
+//   - runScan (≤ scanSchedMaxCores): the array IS the queue. One tight
+//     single-compare pass finds the minimum upcoming wake, a second pass
+//     collects the cores due at it (ascending ID by construction). On
+//     small machines this beats a wheel or heap — which pay per-event
+//     pushes, stale-entry filtering and an ID-order merge — on exactly the
+//     conflict-heavy runs (frequent short NACK/backoff stalls) where the
+//     scheduler itself is the bottleneck.
+//
+//   - runWheel (larger machines): a single-level timing wheel with an
+//     occupancy bitmap plus an overflow min-heap. A per-visited-cycle
+//     O(cores) scan would dominate at 64 cores when most of them sit in
+//     long DRAM or barrier stalls; the wheel keeps per-cycle cost at
+//     O(due) with per-event O(1) pushes. Entries are (wake, id) keys
+//     validated against Machine.wakes, so entries orphaned by a mid-cycle
+//     reschedule are dropped when encountered.
+//
+// Both strategies execute due cores in ascending ID order at the same
+// cycles and re-check Machine.wakes at each core's turn, so they are
+// observationally identical to each other and to the lockstep oracle.
 type eventSched struct{}
 
 func (eventSched) Name() string { return SchedEvent.String() }
 
+// parked marks a core with no timed wake (halted, or waiting at a barrier
+// until a release rewrites its slot). It is the maximum wake time, so the
+// scan's min pass needs no special case for parked cores.
+const parked = neverWakes
+
+// scanSchedMaxCores is the largest machine the dense-scan wake queue is
+// used for; larger machines use the timing wheel. The crossover is where
+// the scan's O(cores) per visited cycle overtakes the wheel's per-event
+// overhead (measured: scan wins clearly at 8–16, wheel at 32–64).
+const scanSchedMaxCores = 16
+
 func (eventSched) Run(m *Machine) error {
 	m.lazyAttr = true
 	defer func() { m.lazyAttr = false }()
+	if len(m.Cores) <= scanSchedMaxCores {
+		return m.runScan()
+	}
+	return m.runWheel()
+}
+
+// runScan is the small-machine event loop: the wake array is the queue.
+//
+// Two fast paths keep the dense busy case (every core executing every
+// cycle, where an event scheduler can skip nothing and must merely not
+// lose to lockstep) nearly scan-free:
+//
+//   - nextReady accumulates the IDs scheduled for m.Now+1 while the
+//     current cycle is processed, so the next cycle's visit time and due
+//     list are known without touching the wake table;
+//   - minStall is a lower bound on the earliest timed (>= Now+2) wake.
+//     While Now+1 stays below it, no stall expiry can be due, and
+//     nextReady alone is the complete due list. Only when a visited cycle
+//     reaches the bound does a full table scan run — and it recomputes the
+//     bound exactly.
+//
+// The bound is maintained at every timed-wake write (including remote
+// aborts, which can only move a wake later — so the bound may go stale
+// low, which costs at most a harmless extra scan, never a missed core).
+func (m *Machine) runScan() error {
 	halted := 0
-	wheel := newWakeWheel()
 	n := len(m.Cores)
-	ready := make([]*Core, 0, n)
-	readyNext := make([]*Core, 0, n)
-	popped := make([]*Core, 0, n)
+	ready := make([]int, 0, n) // core IDs, not pointers: appends skip GC write barriers
+	wakes := m.wakes
+	m.nextReady = m.nextReady[:0]
+	m.minStall = neverWakes
 	for _, c := range m.Cores {
 		c.attributedUntil = m.Now
 		if c.halted {
 			halted++
+			wakes[c.ID] = parked
 			continue
 		}
-		c.scheduledWake = m.Now + 1
-		readyNext = append(readyNext, c)
+		wakes[c.ID] = m.Now + 1
+		m.nextReady = append(m.nextReady, c.ID)
+	}
+	for halted < n {
+		// Invariant at the top of each iteration: every slot is either
+		// parked (+inf) or strictly after m.Now, so the minimum over the
+		// table is the next cycle to visit — taken from the fast-path
+		// bookkeeping when it is conclusive, from a full scan otherwise.
+		var next int64
+		switch {
+		case len(m.nextReady) > 0:
+			next = m.Now + 1
+		case m.minStall > m.Now:
+			next = m.minStall // may be stale-low: the visit self-corrects
+		default:
+			next = wakes[0]
+			for _, w := range wakes[1:] {
+				if w < next {
+					next = w
+				}
+			}
+		}
+		if next > m.P.MaxCycles {
+			// The next wake lies beyond the watchdog (or there is none at
+			// all: every live core parked at a barrier that cannot release).
+			// The lockstep machine would idle up to the bound and expire
+			// there; report the identical failure.
+			m.Now = m.P.MaxCycles
+			return m.watchdogErr()
+		}
+		m.Now = next
+		if next < m.minStall {
+			// No timed wake can be due yet: the accumulated next-cycle list
+			// is the complete due list.
+			ready, m.nextReady = m.nextReady, ready[:0]
+		} else {
+			// A timed wake is (possibly) due: collect from the table and
+			// recompute the bound exactly from the survivors.
+			ready = ready[:0]
+			minStall := neverWakes
+			for id, w := range wakes {
+				if w == next {
+					ready = append(ready, id)
+				} else if w > next && w < minStall {
+					minStall = w
+				}
+			}
+			m.minStall = minStall
+			m.nextReady = m.nextReady[:0]
+		}
+
+		for _, id := range ready {
+			c := m.Cores[id]
+			// Re-check the schedule at the core's turn: an earlier core's
+			// execution this cycle may have aborted (and rescheduled) it,
+			// exactly as under lockstep order.
+			if wakes[c.ID] != m.Now || c.halted || c.barrierWait {
+				continue
+			}
+			if m.Now <= c.stallUntil {
+				// Re-stalled after scheduling (defensive: abort reschedules).
+				w := c.stallUntil + 1
+				wakes[c.ID] = w
+				if w < m.minStall {
+					m.minStall = w
+				}
+				continue
+			}
+			m.settle(c, m.Now-1)
+			c.attributedUntil = m.Now
+			m.execID = c.ID
+			m.exec(c)
+			switch {
+			case c.halted:
+				halted++
+				wakes[c.ID] = parked
+			case c.barrierWait:
+				wakes[c.ID] = parked // woken by the release rewriting the slot
+			case c.stallUntil > m.Now:
+				w := c.stallUntil + 1
+				wakes[c.ID] = w
+				if w < m.minStall {
+					m.minStall = w
+				}
+			default:
+				wakes[c.ID] = m.Now + 1
+				m.nextReady = append(m.nextReady, c.ID)
+			}
+		}
+		if m.syncDirty {
+			m.releaseBarrier()
+			// Barrier releases schedule cores for m.Now+1 via pendingWakes;
+			// fold the released IDs into the next-cycle list (remote-abort
+			// victims in the same list have timed wakes and are filtered).
+			if len(m.pendingWakes) > 0 {
+				for _, id := range m.pendingWakes {
+					if wakes[id] == m.Now+1 {
+						m.nextReady = append(m.nextReady, id)
+					}
+				}
+				sortByID(m.nextReady)
+			}
+		}
+		if m.hookErr != nil {
+			return m.hookErr
+		}
+		m.pendingWakes = m.pendingWakes[:0]
+	}
+	return nil
+}
+
+// runWheel is the large-machine event loop: wakes beyond the next cycle
+// go through the timing wheel, cores continuing at Now+1 through the
+// readyNext fast path. Machine.wakes remains the source of truth; wheel
+// entries that no longer match it are stale and dropped when encountered,
+// and mid-cycle reschedules (which rewrite wakes directly) are adopted
+// into the wheel from pendingWakes after the cycle's batch.
+func (m *Machine) runWheel() error {
+	halted := 0
+	wheel := m.wheel
+	if wheel == nil {
+		wheel = newWakeWheel()
+		m.wheel = wheel
+	} else {
+		wheel.reset()
+	}
+	n := len(m.Cores)
+	wakes := m.wakes
+	ready := make([]int, 0, n) // core IDs, not pointers: appends skip GC write barriers
+	readyNext := make([]int, 0, n)
+	popped := make([]int, 0, n)
+	for _, c := range m.Cores {
+		c.attributedUntil = m.Now
+		if c.halted {
+			halted++
+			wakes[c.ID] = parked
+			continue
+		}
+		wakes[c.ID] = m.Now + 1
+		readyNext = append(readyNext, c.ID)
 	}
 	for halted < n {
 		// The next cycle to visit: readyNext cores are due one cycle out,
@@ -139,10 +331,6 @@ func (eventSched) Run(m *Machine) error {
 			next = wheel.nextWake(m, m.Now)
 		}
 		if next > m.P.MaxCycles {
-			// The next wake lies beyond the watchdog (or there is none at
-			// all: every live core parked at a barrier that cannot release).
-			// The lockstep machine would idle up to the bound and expire
-			// there; report the identical failure.
 			m.Now = m.P.MaxCycles
 			return m.watchdogErr()
 		}
@@ -165,18 +353,19 @@ func (eventSched) Run(m *Machine) error {
 			readyNext = readyNext[:0]
 		}
 
-		for _, c := range ready {
+		for _, id := range ready {
+			c := m.Cores[id]
 			// Re-check the schedule at the core's turn: an earlier core's
 			// execution this cycle may have aborted (and rescheduled) it,
 			// exactly as under lockstep order, and a duplicate due-entry must
 			// not execute twice.
-			if c.scheduledWake != m.Now || c.halted || c.barrierWait {
+			if wakes[c.ID] != m.Now || c.halted || c.barrierWait {
 				continue
 			}
 			if m.Now <= c.stallUntil {
 				// Re-stalled after scheduling (defensive: abort reschedules).
-				c.scheduledWake = c.stallUntil + 1
-				wheel.push(wakeKey(c.scheduledWake, c.ID), m.Now)
+				wakes[c.ID] = c.stallUntil + 1
+				wheel.push(wakeKey(wakes[c.ID], c.ID), m.Now)
 				continue
 			}
 			m.settle(c, m.Now-1)
@@ -186,26 +375,41 @@ func (eventSched) Run(m *Machine) error {
 			switch {
 			case c.halted:
 				halted++
-				c.scheduledWake = -1
+				wakes[c.ID] = parked
 			case c.barrierWait:
-				c.scheduledWake = -1 // woken by the release, via pendingWakes
+				wakes[c.ID] = parked // woken by the release, via pendingWakes
 			case c.stallUntil > m.Now:
-				c.scheduledWake = c.stallUntil + 1
-				wheel.push(wakeKey(c.scheduledWake, c.ID), m.Now)
+				wakes[c.ID] = c.stallUntil + 1
+				wheel.push(wakeKey(wakes[c.ID], c.ID), m.Now)
 			default:
-				c.scheduledWake = m.Now + 1
-				readyNext = append(readyNext, c)
+				wakes[c.ID] = m.Now + 1
+				readyNext = append(readyNext, c.ID)
 			}
 		}
-		m.maybeReleaseBarrier()
+		if m.syncDirty {
+			m.releaseBarrier()
+		}
 		if m.hookErr != nil {
 			return m.hookErr
 		}
 		// Adopt mid-cycle reschedules (remote aborts, barrier releases).
+		// Reschedules landing on Now+1 (a barrier release, or a remote
+		// abort under a zero backoff) join readyNext, which must stay
+		// ID-sorted — the adopted IDs can be lower than cores already
+		// appended by this cycle's execution.
+		adopted := false
 		for _, id := range m.pendingWakes {
-			if c := m.Cores[id]; !c.halted && !c.barrierWait && c.scheduledWake > m.Now {
-				wheel.push(wakeKey(c.scheduledWake, id), m.Now)
+			if !m.Cores[id].halted && wakes[id] > m.Now {
+				if wakes[id] == m.Now+1 {
+					readyNext = append(readyNext, id)
+					adopted = true
+				} else {
+					wheel.push(wakeKey(wakes[id], id), m.Now)
+				}
 			}
+		}
+		if adopted {
+			sortByID(readyNext)
 		}
 		m.pendingWakes = m.pendingWakes[:0]
 	}
@@ -233,11 +437,11 @@ const (
 	wheelMask = wheelSize - 1
 )
 
-// wakeWheel is the event scheduler's wake queue: a single-level timing
-// wheel (bucket ring indexed by cycle mod wheelSize, with an occupancy
-// bitmap for O(words) next-event scans) plus a min-heap overflow for
-// wakes beyond the horizon. Slot membership is unambiguous: every pushed
-// wake lies at most wheelSize cycles ahead, and the scan never skips an
+// wakeWheel is the large-machine wake queue: a single-level timing wheel
+// (bucket ring indexed by cycle mod wheelSize, with an occupancy bitmap
+// for O(words) next-event scans) plus a min-heap overflow for wakes
+// beyond the horizon. Slot membership is unambiguous: every pushed wake
+// lies at most wheelSize cycles ahead, and the scan never skips an
 // occupied slot, so when a slot comes due all its entries share that due
 // cycle.
 type wakeWheel struct {
@@ -247,6 +451,21 @@ type wakeWheel struct {
 }
 
 func newWakeWheel() *wakeWheel { return &wakeWheel{} }
+
+// reset empties the wheel in place, keeping every slot's backing array —
+// the wheel lives on the Machine and is reused run to run, so steady-state
+// pushes allocate nothing. The occupancy bitmap names exactly the
+// non-empty slots, so clearing is O(occupied), not O(wheelSize).
+func (w *wakeWheel) reset() {
+	for wi, word := range w.bits {
+		for ; word != 0; word &= word - 1 {
+			s := wi<<6 + bits.TrailingZeros64(word)
+			w.slots[s] = w.slots[s][:0]
+		}
+		w.bits[wi] = 0
+	}
+	w.over = w.over[:0]
+}
 
 func (w *wakeWheel) push(e wakeKeyed, now int64) {
 	if e.wake()-now > wheelSize {
@@ -262,7 +481,7 @@ func (w *wakeWheel) push(e wakeKeyed, now int64) {
 func (w *wakeWheel) nextWake(m *Machine, now int64) int64 {
 	next := neverWakes
 	for len(w.over) > 0 {
-		if wk := w.over[0].wake(); m.Cores[w.over[0].id()].scheduledWake == wk {
+		if wk := w.over[0].wake(); m.wakes[w.over[0].id()] == wk {
 			next = wk
 			break
 		}
@@ -285,20 +504,20 @@ func (w *wakeWheel) nextWake(m *Machine, now int64) int64 {
 	return next
 }
 
-// drain appends the cores due at cycle now (stale entries dropped) and
-// returns the extended slice. Callers sort it by ID afterwards.
-func (w *wakeWheel) drain(m *Machine, now int64, popped []*Core) []*Core {
+// drain appends the IDs of cores due at cycle now (stale entries dropped)
+// and returns the extended slice. Callers sort it afterwards.
+func (w *wakeWheel) drain(m *Machine, now int64, popped []int) []int {
 	for len(w.over) > 0 && w.over[0].wake() <= now {
 		e := w.over.pop()
-		if c := m.Cores[e.id()]; c.scheduledWake == e.wake() {
-			popped = append(popped, c)
+		if m.wakes[e.id()] == e.wake() {
+			popped = append(popped, e.id())
 		}
 	}
 	s := int(now) & wheelMask
 	if w.bits[s>>6]&(1<<(s&63)) != 0 {
 		for _, e := range w.slots[s] {
-			if c := m.Cores[e.id()]; c.scheduledWake == e.wake() {
-				popped = append(popped, c)
+			if m.wakes[e.id()] == e.wake() {
+				popped = append(popped, e.id())
 			}
 		}
 		w.slots[s] = w.slots[s][:0]
@@ -308,15 +527,15 @@ func (w *wakeWheel) drain(m *Machine, now int64, popped []*Core) []*Core {
 }
 
 // sortByID insertion-sorts a (small) due list into core-ID order.
-func sortByID(cs []*Core) {
-	for i := 1; i < len(cs); i++ {
-		c := cs[i]
+func sortByID(ids []int) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
 		j := i - 1
-		for j >= 0 && cs[j].ID > c.ID {
-			cs[j+1] = cs[j]
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
 			j--
 		}
-		cs[j+1] = c
+		ids[j+1] = v
 	}
 }
 
@@ -361,11 +580,11 @@ func (h *wakeHeap) pop() wakeKeyed {
 	return top
 }
 
-// mergeByID merges two ID-sorted core lists into dst.
-func mergeByID(dst, a, b []*Core) []*Core {
+// mergeByID merges two sorted ID lists into dst.
+func mergeByID(dst, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		if a[i].ID <= b[j].ID {
+		if a[i] <= b[j] {
 			dst = append(dst, a[i])
 			i++
 		} else {

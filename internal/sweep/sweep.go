@@ -197,20 +197,29 @@ func ParseMode(s string) (sim.Mode, error) {
 // AllModes is the full mode axis in the paper's order.
 func AllModes() []sim.Mode { return []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} }
 
-// runOne executes a single run: build the workload bundle, simulate, and
-// verify the final memory image against the workload's atomicity
-// invariants (the same oracle the root retcon.Run applies).
+// machines recycles simulators across the engine's runs: each worker
+// effectively keeps one warm machine per run in flight instead of
+// reconstructing the directory, caches and per-core structures for every
+// grid point. Reset guarantees reuse is observationally invisible, so
+// streamed output stays byte-identical for any pool size.
+var machines sim.MachinePool
+
+// runOne executes a single run: build the workload bundle, simulate on a
+// (reused) machine, and verify the final memory image against the
+// workload's atomicity invariants (the same oracle the root retcon.Run
+// applies).
 func runOne(r Run) (*sim.Result, error) {
 	w, err := workloads.Lookup(r.Workload)
 	if err != nil {
 		return nil, err
 	}
 	bundle := w.Build(r.Params.Cores, r.Seed)
-	machine, err := sim.New(r.Params, bundle.Mem, bundle.Programs)
+	machine, err := machines.Get(r.Params, bundle.Mem, bundle.Programs)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
 	}
 	res, err := machine.Run()
+	machines.Put(machine)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
 	}
