@@ -14,10 +14,13 @@
 #                    sweep through cmd/retcon-fuzz, and 30s per native
 #                    go test -fuzz target
 #   make fuzz-long   open-ended seed sweep (Ctrl-C when bored)
+#   make wload-smoke validate + run every declarative workload spec under
+#                    examples/workloads/ in all three modes (the CI gate
+#                    for the preset library)
 
 GO ?= go
 
-.PHONY: build vet test test-short race ci bench bench-smoke profile paperbench fuzz fuzz-long
+.PHONY: build vet test test-short race ci bench bench-smoke profile paperbench fuzz fuzz-long wload-smoke
 
 build:
 	$(GO) build ./...
@@ -34,7 +37,13 @@ test-short: build
 race: build
 	$(GO) test -race ./...
 
-ci: vet test
+ci: vet test wload-smoke
+
+# Declarative-workload smoke: every spec in the preset library must
+# validate, compile, run under eager/lazy-vb/RetCon and pass its declared
+# final-state oracle.
+wload-smoke: build
+	$(GO) run ./cmd/retcon-wload smoke examples/workloads
 
 # The simulator's own perf trajectory: lockstep vs event-driven scheduler
 # wall-clock on stall-heavy configurations, recorded at the repo root so

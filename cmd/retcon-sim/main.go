@@ -28,15 +28,21 @@ func main() {
 	cores := flag.Int("cores", 32, "number of simulated cores")
 	seed := flag.Int64("seed", 1, "workload input seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list registry names and descriptions (including spec-registered entries) and exit")
 	speedup := flag.Bool("speedup", true, "also run the 1-core sequential baseline")
 	trace := flag.Bool("trace", false, "print a per-event transactional timeline (small runs only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	flag.Parse()
 
-	if *list {
-		for _, w := range retcon.Workloads() {
-			fmt.Printf("%-18s %s\n", w.Name(), w.Description())
+	if *list || *listWorkloads {
+		// Resolve the -workload argument first so a spec: reference shows
+		// up in its own listing.
+		if *name != "" {
+			_, _ = retcon.LookupWorkload(*name)
+		}
+		for _, w := range retcon.ListWorkloads() {
+			fmt.Printf("%-18s %s\n", w.Name, w.Description)
 		}
 		return
 	}

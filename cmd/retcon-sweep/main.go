@@ -42,6 +42,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write records as CSV to this file ('-' = stdout)")
 	table := flag.Bool("table", true, "print the text table to stdout")
 	list := flag.Bool("list", false, "list workloads and presets, then exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list registry names and descriptions (including spec-registered entries), then exit")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -49,12 +50,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *list {
-		fmt.Println("workloads:")
-		for _, w := range retcon.Workloads() {
-			fmt.Printf("  %-18s %s\n", w.Name(), w.Description())
+	if *list || *listWorkloads {
+		// Expand any given specs/flags first (ignoring failures) so that
+		// spec: references they mention are compiled, registered and
+		// listed alongside the builtins.
+		if specs, err := buildSpecs(*specPath, *preset, *workloadsFlag, *modesFlag, *coresFlag, *seedsFlag); err == nil {
+			_, _ = sweep.ExpandAll(specs, retcon.DefaultConfig())
 		}
-		fmt.Println("presets:", strings.Join(sweep.PresetNames(), ", "))
+		fmt.Println("workloads:")
+		for _, w := range retcon.ListWorkloads() {
+			fmt.Printf("  %-18s %s\n", w.Name, w.Description)
+		}
+		if !*listWorkloads {
+			fmt.Println("presets:", strings.Join(sweep.PresetNames(), ", "))
+		}
 		return
 	}
 

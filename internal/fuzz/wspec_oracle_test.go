@@ -1,0 +1,81 @@
+package fuzz
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/wspec"
+)
+
+// TestSpecCompiledOracles guards the wspec codegen path with the same
+// multi-oracle discipline the fuzz harness applies to generated
+// programs: for each conflict-handling mode, a spec-compiled workload
+// must run byte-identically under the lockstep and event schedulers
+// (Results, event traces and final memory), every commit must pass the
+// §4 repair-equals-replay oracle, and the spec's own declared
+// final-state checks must hold. Runs in -short mode alongside the
+// corpus replay (TestCorpusReplay covers every committed reproducer).
+func TestSpecCompiledOracles(t *testing.T) {
+	for _, name := range []string{"zipf-hotset.json", "prodcons-queue.json"} {
+		path := filepath.Join("..", "..", "examples", "workloads", name)
+		spec, err := wspec.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := spec.Compile("", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
+				type out struct {
+					res   *sim.Result
+					trace []byte
+					img   []byte
+				}
+				var runs []out
+				for _, sched := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
+					bundle := w.Build(4, 1)
+					p := sim.DefaultParams()
+					p.Cores = 4
+					p.Mode = mode
+					p.Sched = sched
+					m, err := sim.New(p, bundle.Mem, bundle.Programs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var trace bytes.Buffer
+					m.TraceTo(&trace)
+					m.OnCommit(ReplayOracle())
+					res, err := m.Run()
+					if err != nil {
+						t.Fatalf("%v/%v: %v", mode, sched, err)
+					}
+					if err := bundle.Verify(bundle.Mem); err != nil {
+						t.Fatalf("%v/%v: %v", mode, sched, err)
+					}
+					img := make([]byte, 0, bundle.Mem.Size())
+					for a := int64(0); a < bundle.Mem.Size(); a += 8 {
+						v := bundle.Mem.Read64(a)
+						img = append(img,
+							byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+							byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+					}
+					runs = append(runs, out{res: res, trace: trace.Bytes(), img: img})
+				}
+				if !reflect.DeepEqual(runs[0].res, runs[1].res) {
+					t.Fatalf("%v: results diverge:\nlockstep: %+v\nevent:    %+v", mode, runs[0].res, runs[1].res)
+				}
+				if !bytes.Equal(runs[0].trace, runs[1].trace) {
+					t.Fatalf("%v: traces diverge:%s", mode, firstTraceDiff(runs[0].trace, runs[1].trace))
+				}
+				if !bytes.Equal(runs[0].img, runs[1].img) {
+					t.Fatalf("%v: final memory diverges between schedulers", mode)
+				}
+			}
+		})
+	}
+}

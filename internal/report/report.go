@@ -364,7 +364,7 @@ func avgMax(avg, max float64) string {
 // WriteTable2 renders the workload descriptions.
 func WriteTable2(w io.Writer) {
 	fmt.Fprintln(w, "Table 2: workloads")
-	for _, wl := range workloads.All() {
+	for _, wl := range workloads.Builtins() {
 		fmt.Fprintf(w, "%-18s %s\n", wl.Name(), wl.Description())
 	}
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/workloads"
+	"repro/internal/wspec"
 )
 
 // Spec is a declarative experiment grid. The expanded runs are the cross
@@ -24,9 +26,14 @@ type Spec struct {
 	// Name labels the spec in emitted records.
 	Name string `json:"name"`
 	// Workloads are registry names (see internal/workloads); the special
-	// entry "all" expands to every registered workload, "paper" to the
+	// entry "all" expands to the fifteen builtin variants (a fixed set,
+	// deliberately independent of dynamic registrations), "paper" to the
 	// fourteen variants of Figures 3/4/9/10, and "figure1" to the eight
-	// unmodified workloads.
+	// unmodified workloads. A "spec:<path>[?knob=v&...]" entry references
+	// a declarative workload-spec file (internal/wspec): expansion
+	// compiles it with the given parameter overrides and registers it so
+	// the run loop resolves it like any other name. Relative reference
+	// paths in a spec file are taken relative to that file.
 	Workloads []string `json:"workloads"`
 	// Modes are "eager", "lazy-vb" and/or "retcon"; "all" expands to the
 	// three of them.
@@ -215,7 +222,9 @@ func strictUnmarshal(data []byte, v interface{}) error {
 	return nil
 }
 
-// LoadSpecFile reads and parses one spec file.
+// LoadSpecFile reads and parses one spec file. Relative "spec:" workload
+// references are rebased against the spec file's own directory, so a
+// grid runs identically from any working directory.
 func LoadSpecFile(path string) ([]Spec, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -225,6 +234,12 @@ func LoadSpecFile(path string) ([]Spec, error) {
 	specs, err := ParseSpecs(f)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	for i := range specs {
+		for j, name := range specs[i].Workloads {
+			specs[i].Workloads[j] = wspec.RebaseRef(name, dir)
+		}
 	}
 	return specs, nil
 }
@@ -251,7 +266,7 @@ func (s *Spec) Expand(base sim.Params) ([]Run, error) {
 
 	var runs []Run
 	for _, name := range names {
-		if _, err := workloads.Lookup(name); err != nil {
+		if err := resolveWorkload(name); err != nil {
 			return nil, fmt.Errorf("sweep: spec %q: %w", s.Name, err)
 		}
 		for _, mode := range modes {
@@ -327,13 +342,29 @@ func (s *Spec) expandModes() ([]sim.Mode, error) {
 	return out, nil
 }
 
+// allNames is the fixed builtin set: "all" must expand identically no
+// matter what has been registered dynamically earlier in the process,
+// or grid expansion would depend on spec order and process history.
 func allNames() []string {
-	ws := workloads.All()
+	ws := workloads.Builtins()
 	names := make([]string, len(ws))
 	for i, w := range ws {
 		names[i] = w.Name()
 	}
 	return names
+}
+
+// resolveWorkload checks that a workload axis entry is runnable before
+// expansion: registry names must exist, and spec references are compiled
+// and registered (so the engine's per-run Lookup — possibly on another
+// goroutine — finds them by name with zero changes to its run loop).
+func resolveWorkload(name string) error {
+	if wspec.IsRef(name) {
+		_, err := wspec.Resolve(name)
+		return err
+	}
+	_, err := workloads.Lookup(name)
+	return err
 }
 
 // ExpandAll expands every spec and concatenates the runs in spec order.

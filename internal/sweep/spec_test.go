@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
 
 func TestParseSpecsObjectAndArray(t *testing.T) {
@@ -195,6 +198,50 @@ func TestMatchSeedZeroOverride(t *testing.T) {
 	}
 }
 
+// TestExpandSpecReference: a "spec:<path>?knob=v" workload entry is
+// compiled, registered under the full reference, and runnable by the
+// engine's unchanged run loop.
+func TestExpandSpecReference(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.json")
+	doc := `{
+	  "name": "tiny",
+	  "params": {"txs": 12},
+	  "objects": [{"name": "c", "kind": "counter"}],
+	  "threads": [{"phases": [{"tx": true, "iters": "$txs",
+	    "ops": [{"op": "fetch_add", "object": "c"}]}]}]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := "spec:" + path + "?txs=24"
+	s := Spec{Name: "ref", Workloads: []string{ref}, Modes: []string{"all"}, Cores: []int{2}}
+	runs, err := s.Expand(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("expanded %d runs, want 3", len(runs))
+	}
+	if _, err := workloads.Lookup(ref); err != nil {
+		t.Fatalf("expansion did not register the reference: %v", err)
+	}
+	eng := Engine{Workers: 2}
+	for _, o := range eng.Execute(runs) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if o.Res.Totals().Commits != 24 {
+			t.Fatalf("%v: %d commits, want the overridden 24", o.Run.Params.Mode, o.Res.Totals().Commits)
+		}
+	}
+	// A broken reference fails expansion with a spec-level error.
+	bad := Spec{Name: "bad", Workloads: []string{"spec:" + filepath.Join(dir, "absent.json")}}
+	if _, err := bad.Expand(sim.DefaultParams()); err == nil {
+		t.Error("missing spec file must fail expansion")
+	}
+}
+
 func TestExpandRejectsUnknownWorkloadAndMode(t *testing.T) {
 	s := Spec{Name: "bad", Workloads: []string{"bogus"}}
 	if _, err := s.Expand(sim.DefaultParams()); err == nil {
@@ -207,7 +254,9 @@ func TestExpandRejectsUnknownWorkloadAndMode(t *testing.T) {
 }
 
 func TestExpandSpecialWorkloadSets(t *testing.T) {
-	for name, want := range map[string]int{"all": 15, "paper": 14, "figure1": 8} {
+	// "all" is the fixed builtin set, unaffected by whatever other tests
+	// registered dynamically in this binary.
+	for name, want := range map[string]int{"all": len(workloads.Builtins()), "paper": 14, "figure1": 8} {
 		s := Spec{Name: name, Workloads: []string{name}}
 		runs, err := s.Expand(sim.DefaultParams())
 		if err != nil {

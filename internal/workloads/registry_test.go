@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLookupSuggestions: unknown names are named in the error and the
+// nearest registered workloads are suggested.
+func TestLookupSuggestions(t *testing.T) {
+	cases := []struct{ typo, want string }{
+		{"conter", `"counter"`},
+		{"genom", `"genome"`},
+		{"python-opt", `"python_opt"`},
+		{"vacation_op", `"vacation_opt"`},
+	}
+	for _, c := range cases {
+		_, err := Lookup(c.typo)
+		if err == nil {
+			t.Fatalf("%q must not resolve", c.typo)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, c.typo) {
+			t.Errorf("error for %q does not name the workload: %s", c.typo, msg)
+		}
+		if !strings.Contains(msg, c.want) {
+			t.Errorf("error for %q does not suggest %s: %s", c.typo, c.want, msg)
+		}
+	}
+	// A hopeless name gets the full listing instead of suggestions.
+	_, err := Lookup("zzzzzzzzzz")
+	if err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("hopeless lookup should list registered names: %v", err)
+	}
+}
+
+// fakeWorkload is a registrable stub.
+type fakeWorkload struct{ name string }
+
+func (f *fakeWorkload) Name() string             { return f.name }
+func (f *fakeWorkload) Description() string      { return "stub " + f.name }
+func (f *fakeWorkload) Build(int, int64) *Bundle { return nil }
+
+// TestRegistryRegister: registration appends, replaces idempotently, and
+// keeps the builtins' order in front.
+func TestRegistryRegister(t *testing.T) {
+	r := NewRegistry(builtinFactories()...)
+	if got, want := len(r.Names()), len(Builtins()); got != want {
+		t.Fatalf("fresh registry has %d entries, want %d", got, want)
+	}
+	r.Register(func() Workload { return &fakeWorkload{name: "stub-a"} })
+	r.Register(func() Workload { return &fakeWorkload{name: "stub-a"} }) // replace, not append
+	names := r.Names()
+	if names[len(names)-1] != "stub-a" {
+		t.Fatalf("registered name not appended: %v", names)
+	}
+	if got, want := len(names), len(Builtins())+1; got != want {
+		t.Fatalf("re-registration duplicated the entry: %d names", got)
+	}
+	w, err := r.Lookup("stub-a")
+	if err != nil || w.Name() != "stub-a" {
+		t.Fatalf("lookup of registered workload: %v %v", w, err)
+	}
+	rows := r.List()
+	if rows[len(rows)-1].Description != "stub stub-a" {
+		t.Fatalf("listing lacks the registered description: %+v", rows[len(rows)-1])
+	}
+	if rows[0].Name != "genome" {
+		t.Fatalf("builtins no longer lead the listing: %+v", rows[0])
+	}
+}
+
+// TestEditDistance pins the bounded Levenshtein helper.
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"counter", "counter", 3, 0},
+		{"conter", "counter", 3, 1},
+		{"genome", "gnome", 3, 1},
+		{"kmeans", "yada", 2, 3}, // cut off at bound+1
+		{"", "abc", 3, 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b, c.bound); got != c.want {
+			t.Errorf("editDistance(%q,%q,%d) = %d, want %d", c.a, c.b, c.bound, got, c.want)
+		}
+	}
+}

@@ -29,9 +29,12 @@
 //
 // # Registry semantics and determinism
 //
-// All returns freshly constructed Workload values in the paper's
-// presentation order on every call, and Lookup resolves the paper names;
-// workloads carry no state between Build calls. Build(threads, seed) is
+// The process-wide Registry (Default) holds the builtin kernels in the
+// paper's presentation order plus anything registered dynamically —
+// notably workload specs compiled by internal/wspec. Builtins returns
+// freshly constructed builtin values on every call, All adds the
+// registered entries, and Lookup resolves names with nearest-match
+// suggestions on a miss; workloads carry no state between Build calls. Build(threads, seed) is
 // fully deterministic: the same (threads, seed) pair always yields the
 // same memory image and programs, the total work is independent of the
 // thread count (the 1-thread build is the sequential baseline), and all

@@ -1,0 +1,175 @@
+package wspec_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workloads"
+	"repro/internal/wspec"
+)
+
+const exampleDir = "../../examples/workloads"
+
+// TestCompileDeterminism: the same spec + seed compiles to byte-identical
+// memory images and instruction sequences, at every thread count.
+func TestCompileDeterminism(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(exampleDir, "*.json"))
+	if err != nil || len(paths) < 6 {
+		t.Fatalf("example specs missing: %v (%d found)", err, len(paths))
+	}
+	for _, path := range paths {
+		spec, err := wspec.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := spec.Compile("", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 4, 8} {
+			a := w.Build(threads, 3)
+			b := w.Build(threads, 3)
+			if !a.Mem.Equal(b.Mem) {
+				t.Fatalf("%s @%d: images differ at word %#x", path, threads, a.Mem.DiffWord(b.Mem))
+			}
+			for i := range a.Programs {
+				if !reflect.DeepEqual(a.Programs[i].Instrs, b.Programs[i].Instrs) {
+					t.Fatalf("%s @%d: thread %d programs differ", path, threads, i)
+				}
+			}
+		}
+	}
+}
+
+// snapshot copies the image's words (the final architectural state).
+func snapshot(img *mem.Image) []int64 {
+	out := make([]int64, img.Size()/mem.WordSize)
+	for i := range out {
+		out[i] = img.Read64(int64(i) * mem.WordSize)
+	}
+	return out
+}
+
+// TestSchedulerDeterminism: a compiled spec produces byte-identical
+// Results, final memory and oracle verdicts under the event and lockstep
+// schedulers, in all three modes — the PR-2 differential guarantee
+// extended to the new codegen path.
+func TestSchedulerDeterminism(t *testing.T) {
+	spec, err := wspec.LoadFile(filepath.Join(exampleDir, "barrier-phased.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spec.Compile("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
+		var refRes *sim.Result
+		var refImg []int64
+		for _, sched := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
+			bundle := w.Build(8, 1)
+			p := sim.DefaultParams()
+			p.Cores = 8
+			p.Mode = mode
+			p.Sched = sched
+			m, err := sim.New(p, bundle.Mem, bundle.Programs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, sched, err)
+			}
+			if err := bundle.Verify(bundle.Mem); err != nil {
+				t.Fatalf("%v/%v: %v", mode, sched, err)
+			}
+			img := snapshot(bundle.Mem)
+			if refRes == nil {
+				refRes, refImg = res, img
+				continue
+			}
+			if !reflect.DeepEqual(refRes, res) {
+				t.Fatalf("%v: results diverge between schedulers:\nlockstep: %+v\nevent:    %+v", mode, refRes, res)
+			}
+			if !reflect.DeepEqual(refImg, img) {
+				t.Fatalf("%v: final memory diverges between schedulers", mode)
+			}
+		}
+	}
+}
+
+// TestSweepWorkersByteIdentical: a sweep grid over a spec: reference
+// emits byte-identical records whether it runs on 1 worker or 8 — the
+// engine-level determinism guarantee extended to spec-compiled
+// workloads.
+func TestSweepWorkersByteIdentical(t *testing.T) {
+	ref := "spec:" + filepath.Join(exampleDir, "zipf-hotset.json") + "?zipf_s=1.2"
+	grid := sweep.Spec{
+		Name:      "det",
+		Workloads: []string{ref},
+		Modes:     []string{"all"},
+		Cores:     []int{4},
+		Seeds:     []int64{1, 2},
+	}
+	base := sim.DefaultParams()
+	runs, err := grid.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6 {
+		t.Fatalf("expanded %d runs, want 6", len(runs))
+	}
+	encode := func(workers int) string {
+		eng := sweep.Engine{Workers: workers}
+		var out []byte
+		for _, o := range eng.Execute(runs) {
+			if o.Err != nil {
+				t.Fatal(o.Err)
+			}
+			b, err := json.Marshal(o.Record())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b...)
+			out = append(out, '\n')
+		}
+		return string(out)
+	}
+	if a, b := encode(1), encode(8); a != b {
+		t.Fatalf("records differ between 1 and 8 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestResolveRegisters: resolving a spec reference makes it visible to
+// every registry consumer under the full reference string, idempotently.
+func TestResolveRegisters(t *testing.T) {
+	ref := "spec:" + filepath.Join(exampleDir, "aux-counter.json")
+	w, err := wspec.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != ref {
+		t.Fatalf("registered name %q, want %q", w.Name(), ref)
+	}
+	again, err := workloads.Lookup(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name() != ref {
+		t.Fatalf("lookup returned %q", again.Name())
+	}
+	found := false
+	for _, info := range workloads.Default.List() {
+		if info.Name == ref {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("resolved spec missing from the registry listing")
+	}
+}

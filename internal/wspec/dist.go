@@ -1,0 +1,132 @@
+package wspec
+
+import "math"
+
+// rng is the deterministic split-mix generator used for all build-time
+// sampling (same construction as internal/workloads; duplicated because
+// both are unexported package helpers).
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng {
+	if seed == 0 {
+		seed = 0x5DEECE66D
+	}
+	return &rng{s: uint64(seed)}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a deterministic value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		panic("wspec: intn on non-positive bound")
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// float returns a deterministic value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// sampler draws target cell indices for one op. j is the thread's
+// position within the group's serving-thread list (of k threads) and li
+// the thread-local iteration index — the inputs thread-aware patterns
+// (partitioned, stride) key on.
+type sampler struct {
+	d     rdist
+	cells int
+	k     int       // serving-thread count of the owning group
+	cdf   []float64 // zipfian cumulative distribution, cdf[i] = P(cell <= i)
+}
+
+func newSampler(d rdist, cells, servingThreads int) *sampler {
+	s := &sampler{d: d, cells: cells, k: servingThreads}
+	if d.kind == dZipfian {
+		s.cdf = zipfCDF(cells, d.s)
+	}
+	return s
+}
+
+// zipfCDF builds the cumulative distribution of zipf(s) over n cells:
+// weight(i) = 1/(i+1)^s, so cell 0 is the hottest. s = 0 degenerates to
+// uniform. The construction is closed-form float math in a fixed order,
+// hence byte-deterministic for a given (n, s).
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// sample returns the target cell for one op instance. Patterns that do
+// not consume randomness (fixed, stride) leave the generator untouched,
+// which is fine: determinism is per (spec, threads, seed), not across
+// spec edits.
+func (s *sampler) sample(r *rng, j int, li int64) int {
+	switch s.d.kind {
+	case dFixed:
+		return s.d.cell
+	case dUniform:
+		return int(r.intn(int64(s.cells)))
+	case dZipfian:
+		u := r.float()
+		// Binary search for the first cdf entry >= u.
+		lo, hi := 0, len(s.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	case dHotSet:
+		hot := s.d.hotCells
+		if hot >= s.cells {
+			return int(r.intn(int64(s.cells)))
+		}
+		if r.float() < s.d.hotProb {
+			return int(r.intn(int64(hot)))
+		}
+		return hot + int(r.intn(int64(s.cells-hot)))
+	case dStride:
+		base := j * ((s.cells + s.k - 1) / s.k)
+		return int((int64(base) + li*int64(s.d.stride)) % int64(s.cells))
+	case dPartitioned:
+		lo, hi := partition(s.cells, s.k, j)
+		if hi <= lo {
+			// More serving threads than cells: threads share cells
+			// round-robin. Still deterministic; just no longer disjoint.
+			return j % s.cells
+		}
+		return lo + int(r.intn(int64(hi-lo)))
+	}
+	panic("wspec: unknown distribution kind")
+}
+
+// partition returns thread j's contiguous half-open cell range when n
+// cells are split across k threads (remainder cells go to the leading
+// threads).
+func partition(n, k, j int) (int, int) {
+	base, rem := n/k, n%k
+	lo := j*base + min(j, rem)
+	hi := lo + base
+	if j < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,86 @@
+package wspec
+
+import "testing"
+
+// TestZipfSkew: higher s concentrates mass on cell 0; s = 0 is uniform
+// within sampling noise.
+func TestZipfSkew(t *testing.T) {
+	const cells, draws = 64, 20000
+	countCell0 := func(s float64) int {
+		sm := newSampler(rdist{kind: dZipfian, s: s}, cells, 1)
+		r := newRng(42)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			c := sm.sample(r, 0, int64(i))
+			if c < 0 || c >= cells {
+				t.Fatalf("s=%v: cell %d out of range", s, c)
+			}
+			if c == 0 {
+				hits++
+			}
+		}
+		return hits
+	}
+	uniform := countCell0(0)
+	skewed := countCell0(1.2)
+	if want := draws / cells; uniform < want/2 || uniform > want*2 {
+		t.Fatalf("s=0 cell-0 hits %d, want about %d", uniform, want)
+	}
+	if skewed < 4*uniform {
+		t.Fatalf("s=1.2 cell-0 hits %d, not much above uniform's %d", skewed, uniform)
+	}
+}
+
+// TestHotSetSplit: the hot fraction tracks hot_prob.
+func TestHotSetSplit(t *testing.T) {
+	const cells, hot, draws = 100, 10, 20000
+	sm := newSampler(rdist{kind: dHotSet, hotCells: hot, hotProb: 0.8}, cells, 1)
+	r := newRng(7)
+	inHot := 0
+	for i := 0; i < draws; i++ {
+		if sm.sample(r, 0, int64(i)) < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / draws
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("hot fraction %.3f, want about 0.8", frac)
+	}
+}
+
+// TestPartitionDisjoint: partitions tile the cell range exactly.
+func TestPartitionDisjoint(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{64, 8}, {10, 3}, {5, 5}, {7, 2}} {
+		covered := 0
+		prevHi := 0
+		for j := 0; j < tc.k; j++ {
+			lo, hi := partition(tc.n, tc.k, j)
+			if lo != prevHi {
+				t.Fatalf("n=%d k=%d j=%d: gap (lo %d, want %d)", tc.n, tc.k, j, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n || prevHi != tc.n {
+			t.Fatalf("n=%d k=%d: covered %d", tc.n, tc.k, covered)
+		}
+	}
+}
+
+// TestStrideDeterministic: stride is rng-free and in range.
+func TestStrideDeterministic(t *testing.T) {
+	sm := newSampler(rdist{kind: dStride, stride: 3}, 16, 4)
+	r := newRng(1)
+	before := r.s
+	for j := 0; j < 4; j++ {
+		for i := int64(0); i < 8; i++ {
+			c := sm.sample(r, j, i)
+			if c < 0 || c >= 16 {
+				t.Fatalf("stride cell %d out of range", c)
+			}
+		}
+	}
+	if r.s != before {
+		t.Fatal("stride sampling consumed randomness")
+	}
+}

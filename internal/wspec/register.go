@@ -1,0 +1,103 @@
+package wspec
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/workloads"
+)
+
+// RefPrefix marks a workload name as a spec-file reference:
+//
+//	spec:<path>[?knob=value&knob=value...]
+//
+// The path is a JSON spec file; the optional query overrides declared
+// parameters. The full reference string is the registry name, so two
+// references with different overrides are distinct workloads (and sweep
+// deduplication keeps them apart).
+const RefPrefix = "spec:"
+
+// IsRef reports whether the workload name is a spec-file reference.
+func IsRef(name string) bool { return strings.HasPrefix(name, RefPrefix) }
+
+// ParseRef splits a spec reference into the file path and the parameter
+// overrides.
+func ParseRef(ref string) (path string, overrides map[string]float64, err error) {
+	if !IsRef(ref) {
+		return "", nil, fmt.Errorf("wspec: %q is not a %s reference", ref, RefPrefix)
+	}
+	rest := ref[len(RefPrefix):]
+	query := ""
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		rest, query = rest[:i], rest[i+1:]
+	}
+	if rest == "" {
+		return "", nil, fmt.Errorf("wspec: reference %q has no path", ref)
+	}
+	if query == "" {
+		return rest, nil, nil
+	}
+	overrides = make(map[string]float64)
+	for _, kv := range strings.Split(query, "&") {
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return "", nil, fmt.Errorf("wspec: reference %q: override %q is not knob=value", ref, kv)
+		}
+		v, err := strconv.ParseFloat(kv[eq+1:], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("wspec: reference %q: override %q: %v", ref, kv, err)
+		}
+		overrides[kv[:eq]] = v
+	}
+	return rest, overrides, nil
+}
+
+// RebaseRef rewrites a spec reference's relative path to be relative to
+// dir, leaving absolute paths, malformed references and non-references
+// untouched. Files that embed references (sweep grids) rebase them
+// against their own location at load time, so a grid works no matter
+// which directory the process runs from.
+func RebaseRef(ref, dir string) string {
+	if !IsRef(ref) || dir == "" || dir == "." {
+		return ref
+	}
+	rest := ref[len(RefPrefix):]
+	query := ""
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		rest, query = rest[:i], rest[i:]
+	}
+	if rest == "" || filepath.IsAbs(rest) {
+		return ref
+	}
+	return RefPrefix + filepath.Join(dir, rest) + query
+}
+
+// Resolve loads, compiles and registers the referenced spec in the
+// default workloads registry under the full reference string, so every
+// registry consumer (the sweep engine's run loop, the CLIs, the report
+// harness) finds it by name afterwards. Resolution is idempotent: an
+// already-registered reference is returned without touching the file.
+func Resolve(ref string) (workloads.Workload, error) {
+	if w, err := workloads.Default.Lookup(ref); err == nil {
+		return w, nil
+	}
+	path, overrides, err := ParseRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := spec.Compile(ref, overrides)
+	if err != nil {
+		return nil, err
+	}
+	workloads.Default.Register(func() workloads.Workload { return w })
+	return w, nil
+}

@@ -1,0 +1,748 @@
+package wspec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Compile-time limits. They bound memory images and run times so a
+// hostile or typo'd spec fails fast instead of allocating gigabytes or
+// livelocking a sweep worker.
+const (
+	maxCells     = 1 << 16
+	maxSlots     = 1 << 16
+	maxCapacity  = 1 << 20
+	maxIters     = 1 << 20
+	maxBusy      = 1 << 20
+	maxRepeat    = 1 << 10
+	maxWeight    = 1 << 10
+	maxInstances = 1 << 21 // total op instances across the whole spec
+)
+
+// Internal object kinds.
+type objKind uint8
+
+const (
+	oArray objKind = iota // counters resolve to 1-cell padded arrays
+	oTable
+	oQueue
+)
+
+// Internal op kinds.
+type opKind uint8
+
+const (
+	kRead opKind = iota
+	kWrite
+	kFetchAdd
+	kProbe
+	kPush
+	kPop
+)
+
+// Internal distribution kinds.
+type distKind uint8
+
+const (
+	dFixed distKind = iota
+	dUniform
+	dZipfian
+	dHotSet
+	dStride
+	dPartitioned
+)
+
+// robj is a resolved object.
+type robj struct {
+	name   string
+	kind   objKind
+	cells  int // arrays
+	padded bool
+	init   int64
+	slots  int // tables
+	cap    int // queues
+
+	// Aggregated op usage. resolvePhase fills these; resolveChecks uses
+	// them to decide admissibility, so the soundness restrictions bind
+	// only objects that actually carry a check.
+	adds          bool
+	writes        bool
+	writeConflict bool  // writes with differing (value, size) pairs
+	writeVal      int64 // uniform across all writes unless writeConflict
+	writeSize     uint8
+	nonTxMut      bool // some mutation sits outside a transaction
+	probeTotal    int64
+	pushTotal     int64
+	popTotal      int64
+	pushEpochMax  int
+	popEpochMin   int
+}
+
+// rop is a resolved op.
+type rop struct {
+	kind     opKind
+	obj      int // index into rspec.objects
+	dist     rdist
+	delta    int64
+	value    int64
+	hasValue bool
+	n        int
+	size     uint8
+}
+
+type rdist struct {
+	kind     distKind
+	cell     int
+	s        float64
+	hotCells int
+	hotProb  float64
+	stride   int
+}
+
+// rphase is a resolved work phase.
+type rphase struct {
+	tx    bool
+	iters int64
+	busy  int64
+	ops   []rop
+}
+
+// rgroup is a resolved thread group: phases bucketed into global epochs.
+type rgroup struct {
+	weight int
+	epochs [][]rphase
+}
+
+// rcheck is a resolved verify check.
+type rcheck struct {
+	kind string
+	obj  int
+}
+
+// rspec is the fully-resolved, validated intermediate representation.
+// All Num references are substituted; every compile-time rule has been
+// enforced, so Build cannot fail on spec content.
+type rspec struct {
+	name    string
+	desc    string
+	params  map[string]float64 // resolved knob values (defaults + overrides)
+	objects []robj
+	groups  []rgroup
+	checks  []rcheck
+	epochs  int // global epoch count = max over groups
+}
+
+// resolveParams merges overrides onto the declared defaults, rejecting
+// overrides of undeclared knobs.
+func resolveParams(s *Spec, overrides map[string]float64) (map[string]float64, error) {
+	params := make(map[string]float64, len(s.Params))
+	for k, v := range s.Params {
+		if k == "" {
+			return nil, fmt.Errorf("empty parameter name")
+		}
+		params[k] = v
+	}
+	// Sorted for deterministic error messages.
+	keys := make([]string, 0, len(overrides))
+	for k := range overrides {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, ok := params[k]; !ok {
+			return nil, fmt.Errorf("override of undeclared parameter %q (spec declares: %s)", k, paramNames(params))
+		}
+		params[k] = overrides[k]
+	}
+	for k, v := range params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("parameter %q is not finite", k)
+		}
+	}
+	return params, nil
+}
+
+func paramNames(params map[string]float64) string {
+	if len(params) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += k
+	}
+	return s
+}
+
+// resolver carries the param environment through resolution.
+type resolver struct{ params map[string]float64 }
+
+func (rv *resolver) intIn(n Num, def, lo, hi int64, what string) (int64, error) {
+	f, err := n.resolve(rv.params, float64(def))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	if f != math.Trunc(f) || math.Abs(f) > 1<<62 {
+		return 0, fmt.Errorf("%s: %v is not an integer", what, f)
+	}
+	v := int64(f)
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("%s: %d out of [%d,%d]", what, v, lo, hi)
+	}
+	return v, nil
+}
+
+func (rv *resolver) float(n Num, def float64, what string) (float64, error) {
+	f, err := n.resolve(rv.params, def)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("%s: not finite", what)
+	}
+	return f, nil
+}
+
+// resolve lowers and validates the spec against the given parameter
+// overrides. Every error is prefixed with the spec name by the caller.
+func resolve(s *Spec, overrides map[string]float64) (*rspec, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("spec has no name")
+	}
+	params, err := resolveParams(s, overrides)
+	if err != nil {
+		return nil, err
+	}
+	rv := &resolver{params: params}
+	rs := &rspec{name: s.Name, desc: s.Description, params: params}
+
+	if err := resolveObjects(rv, s, rs); err != nil {
+		return nil, err
+	}
+	if err := resolveGroups(rv, s, rs); err != nil {
+		return nil, err
+	}
+	if err := queueRules(rs); err != nil {
+		return nil, err
+	}
+	if err := resolveChecks(rv, s, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+func resolveObjects(rv *resolver, s *Spec, rs *rspec) error {
+	if len(s.Objects) == 0 {
+		return fmt.Errorf("spec declares no objects")
+	}
+	seen := make(map[string]bool, len(s.Objects))
+	for i := range s.Objects {
+		o := &s.Objects[i]
+		if o.Name == "" {
+			return fmt.Errorf("object %d has no name", i)
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("duplicate object name %q", o.Name)
+		}
+		seen[o.Name] = true
+		what := fmt.Sprintf("object %q", o.Name)
+		ro := robj{name: o.Name, pushEpochMax: -1, popEpochMin: math.MaxInt32}
+		switch o.Kind {
+		case KindCounter:
+			if !o.Cells.IsZero() || !o.Slots.IsZero() || !o.Capacity.IsZero() {
+				return fmt.Errorf("%s: counters take only \"init\"", what)
+			}
+			init, err := rv.intIn(o.Init, 0, math.MinInt64+1, math.MaxInt64-1, what+" init")
+			if err != nil {
+				return err
+			}
+			ro.kind, ro.cells, ro.padded, ro.init = oArray, 1, true, init
+		case KindArray:
+			cells, err := rv.intIn(o.Cells, 0, 1, maxCells, what+" cells")
+			if err != nil {
+				return err
+			}
+			init, err := rv.intIn(o.Init, 0, math.MinInt64+1, math.MaxInt64-1, what+" init")
+			if err != nil {
+				return err
+			}
+			if !o.Slots.IsZero() || !o.Capacity.IsZero() {
+				return fmt.Errorf("%s: arrays take \"cells\", \"padded\", \"init\"", what)
+			}
+			ro.kind, ro.cells, ro.init = oArray, int(cells), init
+			ro.padded = o.Padded == nil || *o.Padded
+		case KindTable:
+			slots, err := rv.intIn(o.Slots, 0, 2, maxSlots, what+" slots")
+			if err != nil {
+				return err
+			}
+			if !o.Cells.IsZero() || !o.Capacity.IsZero() || o.Padded != nil || !o.Init.IsZero() {
+				return fmt.Errorf("%s: tables take only \"slots\"", what)
+			}
+			ro.kind, ro.slots = oTable, int(slots)
+		case KindQueue:
+			capn, err := rv.intIn(o.Capacity, 0, 1, maxCapacity, what+" capacity")
+			if err != nil {
+				return err
+			}
+			if !o.Cells.IsZero() || !o.Slots.IsZero() || o.Padded != nil || !o.Init.IsZero() {
+				return fmt.Errorf("%s: queues take only \"capacity\"", what)
+			}
+			ro.kind, ro.cap = oQueue, int(capn)
+		default:
+			return fmt.Errorf("%s: unknown kind %q (want %s, %s, %s or %s)",
+				what, o.Kind, KindCounter, KindArray, KindTable, KindQueue)
+		}
+		rs.objects = append(rs.objects, ro)
+	}
+	return nil
+}
+
+func (rs *rspec) objIndex(name string) (int, error) {
+	for i := range rs.objects {
+		if rs.objects[i].name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown object %q", name)
+}
+
+func resolveGroups(rv *resolver, s *Spec, rs *rspec) error {
+	if len(s.Threads) == 0 {
+		return fmt.Errorf("spec declares no thread groups")
+	}
+	var instances int64
+	for gi := range s.Threads {
+		g := &s.Threads[gi]
+		what := fmt.Sprintf("group %d", gi)
+		weight, err := rv.intIn(g.Weight, 1, 1, maxWeight, what+" weight")
+		if err != nil {
+			return err
+		}
+		rg := rgroup{weight: int(weight), epochs: [][]rphase{nil}}
+		if len(g.Phases) == 0 {
+			return fmt.Errorf("%s has no phases", what)
+		}
+		for pi := range g.Phases {
+			p := &g.Phases[pi]
+			pwhat := fmt.Sprintf("%s phase %d", what, pi)
+			if p.Barrier {
+				if p.Tx || !p.Iters.IsZero() || !p.Busy.IsZero() || len(p.Ops) > 0 {
+					return fmt.Errorf("%s: a barrier phase takes no other fields", pwhat)
+				}
+				rg.epochs = append(rg.epochs, nil)
+				continue
+			}
+			epoch := len(rg.epochs) - 1
+			rp, n, err := resolvePhase(rv, rs, p, epoch, pwhat)
+			if err != nil {
+				return err
+			}
+			instances += n
+			if instances > maxInstances {
+				return fmt.Errorf("%s: spec exceeds %d total op instances", pwhat, maxInstances)
+			}
+			rg.epochs[epoch] = append(rg.epochs[epoch], rp)
+		}
+		if len(rg.epochs) > rs.epochs {
+			rs.epochs = len(rg.epochs)
+		}
+		rs.groups = append(rs.groups, rg)
+	}
+	// Align every group to the global epoch count (trailing empty epochs).
+	for gi := range rs.groups {
+		for len(rs.groups[gi].epochs) < rs.epochs {
+			rs.groups[gi].epochs = append(rs.groups[gi].epochs, nil)
+		}
+	}
+	return nil
+}
+
+// resolvePhase lowers one work phase and returns it plus its op-instance
+// count (iters * sum of repeats).
+func resolvePhase(rv *resolver, rs *rspec, p *Phase, epoch int, what string) (rphase, int64, error) {
+	iters, err := rv.intIn(p.Iters, 1, 0, maxIters, what+" iters")
+	if err != nil {
+		return rphase{}, 0, err
+	}
+	busy, err := rv.intIn(p.Busy, 0, 0, maxBusy, what+" busy")
+	if err != nil {
+		return rphase{}, 0, err
+	}
+	rp := rphase{tx: p.Tx, iters: iters, busy: busy}
+	var perIter int64
+	for oi := range p.Ops {
+		op := &p.Ops[oi]
+		owhat := fmt.Sprintf("%s op %d (%s)", what, oi, op.Op)
+		ro, err := resolveOp(rv, rs, op, owhat)
+		if err != nil {
+			return rphase{}, 0, err
+		}
+		perIter += int64(ro.n)
+		// Aggregate per-object usage; admissibility is judged later,
+		// against the objects the verify checks actually cover.
+		obj := &rs.objects[ro.obj]
+		total := iters * int64(ro.n)
+		if ro.kind != kRead && !p.Tx {
+			obj.nonTxMut = true
+		}
+		switch ro.kind {
+		case kFetchAdd:
+			obj.adds = true
+		case kWrite:
+			if obj.writes && (obj.writeVal != ro.value || obj.writeSize != ro.size) {
+				obj.writeConflict = true
+			}
+			obj.writes, obj.writeVal, obj.writeSize = true, ro.value, ro.size
+		case kProbe:
+			obj.probeTotal += total
+		case kPush:
+			obj.pushTotal += total
+			if epoch > obj.pushEpochMax {
+				obj.pushEpochMax = epoch
+			}
+		case kPop:
+			obj.popTotal += total
+			if epoch < obj.popEpochMin {
+				obj.popEpochMin = epoch
+			}
+		}
+		rp.ops = append(rp.ops, ro)
+	}
+	return rp, iters * perIter, nil
+}
+
+func resolveOp(rv *resolver, rs *rspec, op *Op, what string) (rop, error) {
+	if op.Object == "" {
+		return rop{}, fmt.Errorf("%s: missing object", what)
+	}
+	oi, err := rs.objIndex(op.Object)
+	if err != nil {
+		return rop{}, fmt.Errorf("%s: %w", what, err)
+	}
+	obj := &rs.objects[oi]
+	n, err := rv.intIn(op.N, 1, 1, maxRepeat, what+" n")
+	if err != nil {
+		return rop{}, err
+	}
+	ro := rop{obj: oi, n: int(n), size: 8}
+
+	// Fields that don't apply to an op kind are rejected, not ignored:
+	// a misplaced "delta" on a write would otherwise compile to a
+	// silently different workload.
+	rejectField := func(present bool, field string) error {
+		if present {
+			return fmt.Errorf("%s: %q does not apply to op %q", what, field, op.Op)
+		}
+		return nil
+	}
+	needArray := func() error {
+		if obj.kind != oArray {
+			return fmt.Errorf("%s: object %q is not an array or counter", what, obj.name)
+		}
+		return nil
+	}
+	accessSize := func() (uint8, error) {
+		sz, err := rv.intIn(op.Size, 8, 1, 8, what+" size")
+		if err != nil {
+			return 0, err
+		}
+		if sz != 1 && sz != 2 && sz != 4 && sz != 8 {
+			return 0, fmt.Errorf("%s: size %d not in {1,2,4,8}", what, sz)
+		}
+		return uint8(sz), nil
+	}
+
+	switch op.Op {
+	case OpRead, OpWrite, OpFetchAdd:
+		if err := needArray(); err != nil {
+			return rop{}, err
+		}
+		d, err := resolveDist(rv, op.Dist, obj.cells, what)
+		if err != nil {
+			return rop{}, err
+		}
+		ro.dist = d
+	default:
+		if err := rejectField(op.Dist != nil, "dist"); err != nil {
+			return rop{}, err
+		}
+	}
+
+	switch op.Op {
+	case OpRead:
+		ro.kind = kRead
+		if err := rejectField(!op.Delta.IsZero(), "delta"); err != nil {
+			return rop{}, err
+		}
+		if err := rejectField(!op.Value.IsZero(), "value"); err != nil {
+			return rop{}, err
+		}
+		if ro.size, err = accessSize(); err != nil {
+			return rop{}, err
+		}
+	case OpWrite:
+		ro.kind = kWrite
+		if err := rejectField(!op.Delta.IsZero(), "delta"); err != nil {
+			return rop{}, err
+		}
+		v, err := rv.intIn(op.Value, 1, math.MinInt64+1, math.MaxInt64-1, what+" value")
+		if err != nil {
+			return rop{}, err
+		}
+		if ro.size, err = accessSize(); err != nil {
+			return rop{}, err
+		}
+		ro.value, ro.hasValue = v, true
+	case OpFetchAdd:
+		ro.kind = kFetchAdd
+		if err := rejectField(!op.Value.IsZero(), "value"); err != nil {
+			return rop{}, err
+		}
+		if err := rejectField(!op.Size.IsZero(), "size"); err != nil {
+			return rop{}, err
+		}
+		d, err := rv.intIn(op.Delta, 1, math.MinInt64+1, math.MaxInt64-1, what+" delta")
+		if err != nil {
+			return rop{}, err
+		}
+		ro.delta = d
+	case OpProbe, OpPush, OpPop:
+		if err := rejectField(!op.Delta.IsZero(), "delta"); err != nil {
+			return rop{}, err
+		}
+		if err := rejectField(!op.Size.IsZero(), "size"); err != nil {
+			return rop{}, err
+		}
+		switch op.Op {
+		case OpProbe:
+			if obj.kind != oTable {
+				return rop{}, fmt.Errorf("%s: object %q is not a table", what, obj.name)
+			}
+			ro.kind = kProbe
+			if err := rejectField(!op.Value.IsZero(), "value"); err != nil {
+				return rop{}, err
+			}
+		case OpPush:
+			if obj.kind != oQueue {
+				return rop{}, fmt.Errorf("%s: object %q is not a queue", what, obj.name)
+			}
+			ro.kind = kPush
+			if !op.Value.IsZero() {
+				v, err := rv.intIn(op.Value, 1, 1, math.MaxInt64-1, what+" value")
+				if err != nil {
+					return rop{}, err
+				}
+				ro.value, ro.hasValue = v, true
+			}
+		case OpPop:
+			if obj.kind != oQueue {
+				return rop{}, fmt.Errorf("%s: object %q is not a queue", what, obj.name)
+			}
+			ro.kind = kPop
+			if err := rejectField(!op.Value.IsZero(), "value"); err != nil {
+				return rop{}, err
+			}
+		}
+	default:
+		return rop{}, fmt.Errorf("%s: unknown op %q", what, op.Op)
+	}
+	return ro, nil
+}
+
+func resolveDist(rv *resolver, d *Dist, cells int, what string) (rdist, error) {
+	if d == nil {
+		return rdist{kind: dFixed}, nil
+	}
+	switch d.Kind {
+	case DistFixed:
+		c, err := rv.intIn(d.Cell, 0, 0, int64(cells)-1, what+" dist cell")
+		if err != nil {
+			return rdist{}, err
+		}
+		return rdist{kind: dFixed, cell: int(c)}, nil
+	case DistUniform:
+		return rdist{kind: dUniform}, nil
+	case DistZipfian:
+		s, err := rv.float(d.S, 0, what+" dist s")
+		if err != nil {
+			return rdist{}, err
+		}
+		if s < 0 || s > 8 {
+			return rdist{}, fmt.Errorf("%s: zipfian s %v out of [0,8]", what, s)
+		}
+		return rdist{kind: dZipfian, s: s}, nil
+	case DistHotSet:
+		hc, err := rv.intIn(d.HotCells, 1, 1, int64(cells), what+" dist hot_cells")
+		if err != nil {
+			return rdist{}, err
+		}
+		hp, err := rv.float(d.HotProb, 0.9, what+" dist hot_prob")
+		if err != nil {
+			return rdist{}, err
+		}
+		if hp < 0 || hp > 1 {
+			return rdist{}, fmt.Errorf("%s: hot_prob %v out of [0,1]", what, hp)
+		}
+		return rdist{kind: dHotSet, hotCells: int(hc), hotProb: hp}, nil
+	case DistStride:
+		st, err := rv.intIn(d.Stride, 1, 1, int64(cells), what+" dist stride")
+		if err != nil {
+			return rdist{}, err
+		}
+		return rdist{kind: dStride, stride: int(st)}, nil
+	case DistPartitioned:
+		return rdist{kind: dPartitioned}, nil
+	default:
+		return rdist{}, fmt.Errorf("%s: unknown dist kind %q", what, d.Kind)
+	}
+}
+
+// queueRules enforces the rules that hold whether or not an object is
+// verified: probe-loop termination (liveness) and queue cursor bounds
+// (slot accesses must stay inside the allocated log under every
+// interleaving). Schedule-independence of the *oracle* is judged per
+// check in resolveChecks.
+func queueRules(rs *rspec) error {
+	for i := range rs.objects {
+		o := &rs.objects[i]
+		switch o.kind {
+		case oTable:
+			if o.probeTotal > int64(o.slots)/2 {
+				return fmt.Errorf("table %q: %d probes exceed slots/2 = %d (probe loops must terminate under every interleaving)",
+					o.name, o.probeTotal, o.slots/2)
+			}
+		case oQueue:
+			if o.pushTotal > int64(o.cap) {
+				return fmt.Errorf("queue %q: %d pushes exceed capacity %d", o.name, o.pushTotal, o.cap)
+			}
+			if o.popTotal > int64(o.cap) {
+				return fmt.Errorf("queue %q: %d pops exceed capacity %d", o.name, o.popTotal, o.cap)
+			}
+		}
+	}
+	return nil
+}
+
+// resolveChecks validates the verify section (or derives the default
+// checks) and enforces admissibility: a *checked* object's final state
+// must be schedule-independent. Unchecked objects may race freely —
+// "verify": [] really does disable every restriction beyond liveness
+// and memory bounds.
+func resolveChecks(rv *resolver, s *Spec, rs *rspec) error {
+	admissible := func(o *robj) error {
+		if o.nonTxMut {
+			return fmt.Errorf("is mutated outside a transaction, so its final state is schedule-dependent")
+		}
+		switch o.kind {
+		case oArray:
+			if o.adds && o.writes {
+				return fmt.Errorf("receives both fetch_add and write ops, so its final cells are schedule-dependent")
+			}
+			if o.writeConflict {
+				return fmt.Errorf("is written with differing value/size pairs, so its final cells are schedule-dependent")
+			}
+		case oQueue:
+			if o.pushTotal != o.popTotal {
+				return fmt.Errorf("has %d pushes vs %d pops (totals must match so the balance oracle is exact)", o.pushTotal, o.popTotal)
+			}
+			if o.popTotal > 0 && o.pushEpochMax >= o.popEpochMin {
+				return fmt.Errorf("needs a barrier phase between its last push (epoch %d) and first pop (epoch %d)", o.pushEpochMax, o.popEpochMin)
+			}
+		}
+		return nil
+	}
+	if s.Verify == nil {
+		// Default: every object gets its natural check when admissible.
+		for i := range rs.objects {
+			o := &rs.objects[i]
+			if admissible(o) != nil {
+				continue
+			}
+			switch o.kind {
+			case oArray:
+				rs.checks = append(rs.checks, rcheck{kind: CheckCells, obj: i})
+			case oTable:
+				rs.checks = append(rs.checks, rcheck{kind: CheckKeys, obj: i})
+			case oQueue:
+				rs.checks = append(rs.checks, rcheck{kind: CheckBalanced, obj: i})
+			}
+		}
+		return nil
+	}
+	for ci := range s.Verify {
+		c := &s.Verify[ci]
+		what := fmt.Sprintf("verify %d (%s on %q)", ci, c.Check, c.Object)
+		oi, err := rs.objIndex(c.Object)
+		if err != nil {
+			return fmt.Errorf("%s: %w", what, err)
+		}
+		o := &rs.objects[oi]
+		switch c.Check {
+		case CheckCells, CheckSum:
+			if o.kind != oArray {
+				return fmt.Errorf("%s: %q checks apply to arrays and counters", what, c.Check)
+			}
+		case CheckKeys:
+			if o.kind != oTable {
+				return fmt.Errorf("%s: \"keys\" checks apply to tables", what)
+			}
+		case CheckBalanced:
+			if o.kind != oQueue {
+				return fmt.Errorf("%s: \"balanced\" checks apply to queues", what)
+			}
+		default:
+			return fmt.Errorf("%s: unknown check %q", what, c.Check)
+		}
+		if err := admissible(o); err != nil {
+			return fmt.Errorf("%s: object %q %v", what, o.name, err)
+		}
+		if c.Check == CheckSum && !c.Value.IsZero() {
+			if o.writes {
+				return fmt.Errorf("%s: declared sums require an add-only object (write targets are sampled, so the sum is only known at build time)", what)
+			}
+			declared, err := rv.intIn(c.Value, 0, math.MinInt64+1, math.MaxInt64-1, what+" value")
+			if err != nil {
+				return err
+			}
+			got := expectedSum(rs, oi)
+			if declared != got {
+				return fmt.Errorf("%s: declared sum %d, but the op mix yields %d", what, declared, got)
+			}
+		}
+		if !c.Value.IsZero() && c.Check != CheckSum {
+			return fmt.Errorf("%s: \"value\" is only meaningful on sum checks", what)
+		}
+		rs.checks = append(rs.checks, rcheck{kind: c.Check, obj: oi})
+	}
+	return nil
+}
+
+// expectedSum computes the thread-count-independent expected sum of an
+// add-only array object: cells*init plus every fetch_add total. The
+// caller guarantees the object receives no writes (their sampled targets
+// would make the sum build-time-dependent).
+func expectedSum(rs *rspec, oi int) int64 {
+	o := &rs.objects[oi]
+	sum := int64(o.cells) * o.init
+	for gi := range rs.groups {
+		for _, phs := range rs.groups[gi].epochs {
+			for _, ph := range phs {
+				for _, op := range ph.ops {
+					if op.kind == kFetchAdd && op.obj == oi {
+						sum += ph.iters * int64(op.n) * op.delta
+					}
+				}
+			}
+		}
+	}
+	return sum
+}

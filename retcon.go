@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/workloads"
+	"repro/internal/wspec"
 )
 
 // Mode selects the conflict-handling configuration (Figure 9).
@@ -65,12 +66,29 @@ type Result struct {
 // Workload is a runnable benchmark kernel.
 type Workload = workloads.Workload
 
-// Workloads returns every available workload in the paper's order.
+// Workloads returns every available workload: the paper's kernels in
+// presentation order, then dynamically registered ones (compiled
+// workload specs) in registration order.
 func Workloads() []Workload { return workloads.All() }
 
+// ListWorkloads returns (name, description) rows for every registered
+// workload without constructing them.
+func ListWorkloads() []workloads.Info { return workloads.Default.List() }
+
+// RegisterWorkload adds a workload factory to the process-wide registry,
+// making it runnable by name everywhere (retcon-sim, sweeps, reports).
+func RegisterWorkload(f func() Workload) { workloads.Register(f) }
+
 // LookupWorkload returns the workload with the given paper name
-// (e.g. "genome-sz", "python_opt").
-func LookupWorkload(name string) (Workload, error) { return workloads.Lookup(name) }
+// (e.g. "genome-sz", "python_opt"), a registered name, or a declarative
+// workload-spec reference of the form "spec:<path>[?knob=v&...]" (see
+// internal/wspec), which is compiled and registered on first use.
+func LookupWorkload(name string) (Workload, error) {
+	if wspec.IsRef(name) {
+		return wspec.Resolve(name)
+	}
+	return workloads.Lookup(name)
+}
 
 // Run builds the workload for cfg.Cores threads, simulates it to
 // completion, verifies the final memory image against the workload's
