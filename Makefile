@@ -17,10 +17,16 @@
 #   make wload-smoke validate + run every declarative workload spec under
 #                    examples/workloads/ in all three modes (the CI gate
 #                    for the preset library)
+#   make lab-smoke   validate every hypothesis under examples/hypotheses/
+#                    and re-run the smallest one against its recorded
+#                    FINDINGS.md, byte for byte (the CI gate for the
+#                    hypothesis lab)
+#   make lab-record  re-run every hypothesis and rewrite the recorded
+#                    FINDINGS.md documents (after an intentional change)
 
 GO ?= go
 
-.PHONY: build vet test test-short race ci bench bench-smoke profile paperbench fuzz fuzz-long wload-smoke
+.PHONY: build vet test test-short race ci bench bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record
 
 build:
 	$(GO) build ./...
@@ -37,13 +43,24 @@ test-short: build
 race: build
 	$(GO) test -race ./...
 
-ci: vet test wload-smoke
+ci: vet test wload-smoke lab-smoke
 
 # Declarative-workload smoke: every spec in the preset library must
 # validate, compile, run under eager/lazy-vb/RetCon and pass its declared
 # final-state oracle.
 wload-smoke: build
 	$(GO) run ./cmd/retcon-wload smoke examples/workloads
+
+# Hypothesis-lab smoke: every hypothesis spec must validate, and the
+# smallest example (zipf-skew: 20 grid runs, tens of milliseconds) must
+# reproduce its recorded FINDINGS.md byte for byte — statistics, verdict
+# and all.
+lab-smoke: build
+	$(GO) run ./cmd/retcon-lab validate examples/hypotheses
+	$(GO) run ./cmd/retcon-lab run -check examples/hypotheses/zipf-skew.json
+
+lab-record: build
+	$(GO) run ./cmd/retcon-lab run -record examples/hypotheses
 
 # The simulator's own perf trajectory: lockstep vs event-driven scheduler
 # wall-clock on stall-heavy configurations, recorded at the repo root so

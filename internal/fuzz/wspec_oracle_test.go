@@ -1,12 +1,12 @@
 package fuzz
 
 import (
-	"bytes"
 	"path/filepath"
-	"reflect"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/testutil"
+	"repro/internal/workloads"
 	"repro/internal/wspec"
 )
 
@@ -31,50 +31,14 @@ func TestSpecCompiledOracles(t *testing.T) {
 		}
 		t.Run(spec.Name, func(t *testing.T) {
 			for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
-				type out struct {
-					res   *sim.Result
-					trace []byte
-					img   []byte
-				}
-				var runs []out
-				for _, sched := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
-					bundle := w.Build(4, 1)
-					p := sim.DefaultParams()
-					p.Cores = 4
-					p.Mode = mode
-					p.Sched = sched
-					m, err := sim.New(p, bundle.Mem, bundle.Programs)
-					if err != nil {
-						t.Fatal(err)
-					}
-					var trace bytes.Buffer
-					m.TraceTo(&trace)
+				p := sim.DefaultParams()
+				p.Cores = 4
+				p.Mode = mode
+				testutil.CrossSched(t, spec.Name, p, func() *workloads.Bundle {
+					return w.Build(4, 1)
+				}, true, func(m *sim.Machine) {
 					m.OnCommit(ReplayOracle())
-					res, err := m.Run()
-					if err != nil {
-						t.Fatalf("%v/%v: %v", mode, sched, err)
-					}
-					if err := bundle.Verify(bundle.Mem); err != nil {
-						t.Fatalf("%v/%v: %v", mode, sched, err)
-					}
-					img := make([]byte, 0, bundle.Mem.Size())
-					for a := int64(0); a < bundle.Mem.Size(); a += 8 {
-						v := bundle.Mem.Read64(a)
-						img = append(img,
-							byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-							byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
-					}
-					runs = append(runs, out{res: res, trace: trace.Bytes(), img: img})
-				}
-				if !reflect.DeepEqual(runs[0].res, runs[1].res) {
-					t.Fatalf("%v: results diverge:\nlockstep: %+v\nevent:    %+v", mode, runs[0].res, runs[1].res)
-				}
-				if !bytes.Equal(runs[0].trace, runs[1].trace) {
-					t.Fatalf("%v: traces diverge:%s", mode, firstTraceDiff(runs[0].trace, runs[1].trace))
-				}
-				if !bytes.Equal(runs[0].img, runs[1].img) {
-					t.Fatalf("%v: final memory diverges between schedulers", mode)
-				}
+				})
 			}
 		})
 	}

@@ -1,0 +1,187 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Render writes the report as a FINDINGS.md document. The output is a
+// pure function of the report's numbers: floats go through one fixed
+// formatter, rows follow expansion order, and nothing reads the clock or
+// the environment — so the bytes are identical for any worker count and
+// under either scheduler, and a recorded document doubles as a golden
+// file.
+func Render(rep *Report) []byte {
+	var f report.Findings
+	f.Heading(1, fmt.Sprintf("%s: %s", rep.H.Name, rep.H.Claim))
+	f.Sep()
+	return renderBody(rep, &f)
+}
+
+func renderBody(rep *Report, f *report.Findings) []byte {
+	h := rep.H
+	ff := report.FormatFloat
+
+	f.Field("Status", rep.Verdict.String())
+	f.Field("Metric", fmt.Sprintf("`%s` — expected to %s under treatment", h.Metric, h.Direction))
+	if h.MinEffect > 0 {
+		f.Field("Min effect", ff(h.MinEffect))
+	}
+	f.Field("Seeds", seedList(rep.Seeds)+" (paired across arms)")
+	if rep.OracleOn {
+		f.Field("Scheduler oracle", "every run re-executed under the lockstep scheduler; any Result divergence is an anomaly")
+	} else {
+		f.Field("Scheduler oracle", "off")
+	}
+	if rep.Baselined {
+		f.Field("Baselines", "1-core eager run per (workload, seed, machine)")
+	}
+	if h.Date != "" {
+		f.Field("Date", h.Date)
+	}
+
+	f.Heading(2, "Hypothesis")
+	f.Quote(h.Claim)
+	if h.Rationale != "" {
+		f.Para(h.Rationale)
+	}
+
+	f.Heading(2, "Design")
+	f.Para(fmt.Sprintf("%d paired cell(s) × %d seeds × 2 arms = %d grid runs; cells pair treatment against control by expansion position.",
+		len(rep.Cells), len(rep.Seeds), rep.GridRuns))
+	f.Para("Treatment grid:")
+	f.Code("json", specJSON(&h.render[0]))
+	f.Para("Control grid:")
+	f.Code("json", specJSON(&h.render[1]))
+
+	f.Heading(2, "Results")
+	header := []string{"cell", "treatment (mean ± 95% CI)", "control (mean ± 95% CI)", "Δ paired (mean [95% CI])", "verdict"}
+	rows := make([][]string, 0, len(rep.Cells))
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		rows = append(rows, []string{
+			c.Label(),
+			sumCell(c.Treatment.Sum),
+			sumCell(c.Control.Sum),
+			deltaCell(c),
+			c.Verdict.String(),
+		})
+	}
+	f.Table(header, rows)
+
+	f.Heading(2, "Anomalies")
+	var anomalies []string
+	anomalies = append(anomalies, rep.Infra...)
+	for i := range rep.Cells {
+		anomalies = append(anomalies, rep.Cells[i].Anomalies...)
+	}
+	if len(anomalies) == 0 {
+		f.Para("None: every run completed, committed work, kept its metric finite" + oracleClause(rep) + ".")
+	} else {
+		f.List(anomalies)
+	}
+
+	f.Heading(2, "Verdict")
+	f.Para(fmt.Sprintf("**%s** — %s", rep.Verdict, verdictSentence(rep)))
+	return f.Bytes()
+}
+
+// sumCell renders one arm's summary.
+func sumCell(s Summary) string {
+	return fmt.Sprintf("%s ± %s", report.FormatFloat(s.Mean), report.FormatFloat(s.CI95))
+}
+
+// deltaCell renders the paired delta with its CI bounds.
+func deltaCell(c *Cell) string {
+	if len(c.Treatment.Vals) != len(c.Control.Vals) || c.Delta.N == 0 {
+		return "—"
+	}
+	d := c.Delta
+	return fmt.Sprintf("%s [%s, %s]",
+		report.FormatFloat(d.Mean), report.FormatFloat(d.Lo()), report.FormatFloat(d.Hi()))
+}
+
+func oracleClause(rep *Report) string {
+	if rep.OracleOn {
+		return ", and matched its lockstep re-execution exactly"
+	}
+	return ""
+}
+
+// verdictSentence explains the overall verdict with the numbers inline.
+func verdictSentence(rep *Report) string {
+	h := rep.H
+	if len(rep.Infra) > 0 {
+		return fmt.Sprintf("%d harness anomaly(ies) make the measurements untrustworthy; see Anomalies.", len(rep.Infra))
+	}
+	dir, _ := ParseDirection(h.Direction)
+	// The extreme cells: the weakest supporting evidence and the
+	// strongest counterevidence.
+	weakest := -1
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Delta.N == 0 {
+			continue
+		}
+		if weakest < 0 || lessExtreme(c.Delta, rep.Cells[weakest].Delta, dir) {
+			weakest = i
+		}
+	}
+	switch rep.Verdict {
+	case Supported:
+		c := &rep.Cells[weakest]
+		return fmt.Sprintf("in every cell the 95%% CI of the paired per-seed delta lies beyond %s in the claimed direction; the weakest cell (%s) still moves the metric by %s [%s, %s].",
+			report.FormatFloat(h.MinEffect), c.Label(),
+			report.FormatFloat(c.Delta.Mean), report.FormatFloat(c.Delta.Lo()), report.FormatFloat(c.Delta.Hi()))
+	case Refuted:
+		for i := range rep.Cells {
+			c := &rep.Cells[i]
+			if c.Verdict == Refuted {
+				return fmt.Sprintf("cell %s excludes the claimed effect: its paired delta is %s [%s, %s], short of the %s %s the claim requires.",
+					c.Label(), report.FormatFloat(c.Delta.Mean),
+					report.FormatFloat(c.Delta.Lo()), report.FormatFloat(c.Delta.Hi()),
+					h.Direction, report.FormatFloat(h.MinEffect))
+			}
+		}
+	}
+	var unresolved []string
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Verdict == Inconclusive {
+			unresolved = append(unresolved, c.Label())
+		}
+	}
+	return fmt.Sprintf("the evidence does not decide the claim; unresolved cell(s): %s.", strings.Join(unresolved, ", "))
+}
+
+// lessExtreme reports whether a is weaker evidence than b in the claimed
+// direction.
+func lessExtreme(a, b Summary, dir Direction) bool {
+	if dir == Increase {
+		return a.Mean < b.Mean
+	}
+	return a.Mean > b.Mean
+}
+
+// seedList renders the seed axis.
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// specJSON renders an arm grid as indented JSON. sweep.Spec contains no
+// maps, so encoding/json emits fields in declaration order — stable
+// bytes for stable specs.
+func specJSON(s interface{}) string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("(unrenderable: %v)", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,260 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/wspec"
+)
+
+// Hypothesis is a declarative, falsifiable claim about the simulator: a
+// metric, an expected effect direction, and a treatment and a control
+// sweep grid that differ in exactly the condition under test. The lab
+// expands both grids over one shared multi-seed axis, pairs their cells
+// position by position, and judges the claim from the paired per-seed
+// deltas (see Run and Judge).
+//
+// Spec files are JSON, one hypothesis per file. The treatment and
+// control grids are ordinary internal/sweep specs (minus the seed axis,
+// which the harness owns), so everything a sweep can express — builtin
+// workloads, "spec:" workload references with knob overrides, per-axis
+// parameter patches — works in a hypothesis unchanged.
+type Hypothesis struct {
+	// Name labels the hypothesis; the recorded findings live at
+	// <specdir>/<name>/FINDINGS.md.
+	Name string `json:"name"`
+	// Claim is the falsifiable statement under test, quoted verbatim in
+	// the findings.
+	Claim string `json:"claim"`
+	// Rationale optionally records why the claim should hold.
+	Rationale string `json:"rationale,omitempty"`
+	// Date is echoed verbatim into the findings (the harness never reads
+	// the clock — recorded findings must be reproducible byte for byte).
+	Date string `json:"date,omitempty"`
+
+	// Metric is the expression judged per run; see MetricVars.
+	Metric string `json:"metric"`
+	// Direction is the expected movement of the metric under treatment:
+	// "increase" or "decrease".
+	Direction string `json:"direction"`
+	// MinEffect is the smallest mean paired delta magnitude that counts
+	// as the claimed effect (default 0: any reliable movement).
+	MinEffect float64 `json:"min_effect,omitempty"`
+
+	// Seeds is the explicit paired-seed axis; SeedCount expands to
+	// 1..N instead. Default: seeds 1..5. At least two seeds are required
+	// (one seed has no confidence interval).
+	Seeds     []int64 `json:"seeds,omitempty"`
+	SeedCount int     `json:"seed_count,omitempty"`
+
+	// Treatment and Control are the two arms. Their expansions must
+	// produce the same number of cells; cell i of one arm is compared
+	// against cell i of the other.
+	Treatment sweep.Spec `json:"treatment"`
+	Control   sweep.Spec `json:"control"`
+
+	// Baselines forces 1-core eager baseline runs (they are added
+	// automatically whenever the metric uses "speedup" or
+	// "baseline_cycles").
+	Baselines bool `json:"baselines,omitempty"`
+	// Oracle selects the differential anomaly check: "lockstep" (the
+	// default) re-executes every grid run under the lockstep scheduler
+	// and flags any Result divergence; "off" disables it.
+	Oracle string `json:"oracle,omitempty"`
+
+	// render holds the arm specs as loaded from disk, before "spec:"
+	// references are rebased against the file's directory — the findings
+	// quote these so a recorded document is working-directory-independent.
+	render [2]sweep.Spec
+}
+
+// compiled spec knobs resolved by Validate.
+type resolved struct {
+	metric       *Metric
+	direction    Direction
+	minEffectVal float64
+	seeds        []int64
+	oracle       bool
+	baselines    bool
+}
+
+// DefaultSeeds is the seed axis used when a hypothesis declares neither
+// Seeds nor SeedCount.
+var DefaultSeeds = []int64{1, 2, 3, 4, 5}
+
+// seedAxis resolves the paired-seed list.
+func (h *Hypothesis) seedAxis() ([]int64, error) {
+	if len(h.Seeds) > 0 && h.SeedCount > 0 {
+		return nil, fmt.Errorf(`lab: %q sets both "seeds" and "seed_count"`, h.Name)
+	}
+	seeds := h.Seeds
+	if h.SeedCount > 0 {
+		seeds = make([]int64, h.SeedCount)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+	}
+	if len(seeds) == 0 {
+		seeds = append([]int64(nil), DefaultSeeds...)
+	}
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("lab: %q needs at least 2 paired seeds (got %d) — one seed has no confidence interval", h.Name, len(seeds))
+	}
+	seen := make(map[int64]bool, len(seeds))
+	for _, s := range seeds {
+		if seen[s] {
+			return nil, fmt.Errorf("lab: %q repeats seed %d", h.Name, s)
+		}
+		seen[s] = true
+	}
+	return seeds, nil
+}
+
+// Validate checks the hypothesis end to end against the base machine:
+// spec fields, metric compilation, and a trial expansion of both arms
+// (which also resolves and registers every referenced "spec:" workload).
+// It returns the resolved knobs the runner consumes.
+func (h *Hypothesis) Validate(base sim.Params) (*resolved, error) {
+	if strings.TrimSpace(h.Name) == "" {
+		return nil, fmt.Errorf("lab: hypothesis has no name")
+	}
+	if strings.TrimSpace(h.Claim) == "" {
+		return nil, fmt.Errorf("lab: %q has no claim", h.Name)
+	}
+	m, err := ParseMetric(h.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %q: %w", h.Name, err)
+	}
+	dir, err := ParseDirection(h.Direction)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %q: %w", h.Name, err)
+	}
+	if h.MinEffect < 0 {
+		return nil, fmt.Errorf("lab: %q: min_effect must be >= 0, got %v", h.Name, h.MinEffect)
+	}
+	oracle := true
+	switch strings.ToLower(strings.TrimSpace(h.Oracle)) {
+	case "", "lockstep":
+	case "off":
+		oracle = false
+	default:
+		return nil, fmt.Errorf(`lab: %q: oracle must be "lockstep" or "off", got %q`, h.Name, h.Oracle)
+	}
+	seeds, err := h.seedAxis()
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range []struct {
+		name string
+		s    *sweep.Spec
+	}{{"treatment", &h.Treatment}, {"control", &h.Control}} {
+		if len(arm.s.Seeds) > 0 {
+			return nil, fmt.Errorf(`lab: %q: the %s grid must not set "seeds" (the hypothesis owns the paired-seed axis)`, h.Name, arm.name)
+		}
+	}
+	tc, err := h.expandArm(&h.Treatment, base, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %q treatment: %w", h.Name, err)
+	}
+	cc, err := h.expandArm(&h.Control, base, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %q control: %w", h.Name, err)
+	}
+	if len(tc) != len(cc) {
+		return nil, fmt.Errorf("lab: %q: treatment expands to %d cells but control to %d — cells pair by position, so the grids must match", h.Name, len(tc), len(cc))
+	}
+	return &resolved{
+		metric:       m,
+		direction:    dir,
+		minEffectVal: h.MinEffect,
+		seeds:        seeds,
+		oracle:       oracle,
+		baselines:    h.Baselines || m.needsBaseline(),
+	}, nil
+}
+
+// expandArm expands one arm's grid over the shared seed axis and groups
+// it into cells, checking that every cell carries exactly the seed list
+// (a repeated axis value would silently skew pairing otherwise).
+func (h *Hypothesis) expandArm(s *sweep.Spec, base sim.Params, seeds []int64) ([][]sweep.Run, error) {
+	runs, err := s.ExpandWithSeeds(base, seeds)
+	if err != nil {
+		return nil, err
+	}
+	cells := sweep.GroupCells(runs)
+	for _, cell := range cells {
+		if len(cell) != len(seeds) {
+			return nil, fmt.Errorf("cell %s carries %d runs for %d seeds (repeated axis values are not pairable)",
+				armLabel(cell[0]), len(cell), len(seeds))
+		}
+		for i, r := range cell {
+			if r.Seed != seeds[i] {
+				return nil, fmt.Errorf("cell %s: seed order diverged", armLabel(cell[0]))
+			}
+		}
+	}
+	return cells, nil
+}
+
+// ParseHypothesis decodes one hypothesis from JSON, rejecting unknown
+// fields so typos fail loudly.
+func ParseHypothesis(data []byte) (*Hypothesis, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var h Hypothesis
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("lab: parse hypothesis: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("lab: parse hypothesis: trailing content after the JSON object")
+	}
+	if h.Treatment.Name == "" {
+		h.Treatment.Name = "treatment"
+	}
+	if h.Control.Name == "" {
+		h.Control.Name = "control"
+	}
+	h.render = [2]sweep.Spec{snapshotSpec(&h.Treatment), snapshotSpec(&h.Control)}
+	return &h, nil
+}
+
+// LoadFile reads a hypothesis spec file. Relative "spec:" workload
+// references are rebased against the file's directory (the findings keep
+// quoting the original spelling), so a hypothesis runs identically from
+// any working directory.
+func LoadFile(path string) (*Hypothesis, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	h, err := ParseHypothesis(data)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	wspec.RebaseRefs(h.Treatment.Workloads, dir)
+	wspec.RebaseRefs(h.Control.Workloads, dir)
+	return h, nil
+}
+
+// RecordedPath returns the canonical location of a hypothesis's recorded
+// findings: <dir of specPath>/<name>/FINDINGS.md.
+func RecordedPath(specPath, name string) string {
+	return filepath.Join(filepath.Dir(specPath), name, "FINDINGS.md")
+}
+
+// snapshotSpec deep-copies the slices of s that later stages mutate
+// (workload refs are rebased in place).
+func snapshotSpec(s *sweep.Spec) sweep.Spec {
+	c := *s
+	c.Workloads = append([]string(nil), s.Workloads...)
+	c.Modes = append([]string(nil), s.Modes...)
+	c.Cores = append([]int(nil), s.Cores...)
+	c.Overrides = append([]sweep.Override(nil), s.Overrides...)
+	return c
+}

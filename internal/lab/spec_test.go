@@ -1,0 +1,150 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// minimal returns a hypothesis that validates cleanly against the
+// default machine; tests break one field at a time.
+func minimal() *Hypothesis {
+	return &Hypothesis{
+		Name:      "t",
+		Claim:     "c",
+		Metric:    "cycles",
+		Direction: "decrease",
+		Treatment: sweep.Spec{Name: "treatment", Workloads: []string{"counter"}, Modes: []string{"retcon"}, Cores: []int{2}},
+		Control:   sweep.Spec{Name: "control", Workloads: []string{"counter"}, Modes: []string{"eager"}, Cores: []int{2}},
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	rs, err := minimal().Validate(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.seeds) != len(DefaultSeeds) {
+		t.Errorf("default seeds = %v, want %v", rs.seeds, DefaultSeeds)
+	}
+	if !rs.oracle {
+		t.Error("oracle should default on")
+	}
+	if rs.baselines {
+		t.Error("a cycles metric should not force baselines")
+	}
+	if rs.direction != Decrease {
+		t.Errorf("direction = %v", rs.direction)
+	}
+}
+
+func TestValidateSeedAxis(t *testing.T) {
+	h := minimal()
+	h.SeedCount = 3
+	rs, err := h.Validate(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.seeds) != 3 || rs.seeds[0] != 1 || rs.seeds[2] != 3 {
+		t.Errorf("seed_count 3 expands to %v", rs.seeds)
+	}
+
+	h = minimal()
+	h.Seeds = []int64{7, 9}
+	if rs, err = h.Validate(sim.DefaultParams()); err != nil {
+		t.Fatal(err)
+	} else if rs.seeds[0] != 7 || rs.seeds[1] != 9 {
+		t.Errorf("explicit seeds ignored: %v", rs.seeds)
+	}
+}
+
+func TestValidateBaselinesForced(t *testing.T) {
+	h := minimal()
+	h.Metric = "speedup"
+	h.Direction = "increase"
+	rs, err := h.Validate(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.baselines {
+		t.Error("a speedup metric must force baselines")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(h *Hypothesis)
+		wantSub string
+	}{
+		{"no name", func(h *Hypothesis) { h.Name = " " }, "no name"},
+		{"no claim", func(h *Hypothesis) { h.Claim = "" }, "no claim"},
+		{"bad metric", func(h *Hypothesis) { h.Metric = "wat" }, "unknown field"},
+		{"bad direction", func(h *Hypothesis) { h.Direction = "sideways" }, "unknown direction"},
+		{"negative min effect", func(h *Hypothesis) { h.MinEffect = -1 }, "min_effect"},
+		{"bad oracle", func(h *Hypothesis) { h.Oracle = "maybe" }, "oracle"},
+		{"seeds and seed_count", func(h *Hypothesis) { h.Seeds = []int64{1, 2}; h.SeedCount = 2 }, "both"},
+		{"one seed", func(h *Hypothesis) { h.Seeds = []int64{1} }, "at least 2"},
+		{"repeated seed", func(h *Hypothesis) { h.Seeds = []int64{1, 1} }, "repeats seed"},
+		{"arm owns seeds", func(h *Hypothesis) { h.Treatment.Seeds = []int64{1} }, "owns the paired-seed axis"},
+		{"unknown workload", func(h *Hypothesis) { h.Control.Workloads = []string{"no_such"} }, "no_such"},
+		{"cell count mismatch", func(h *Hypothesis) {
+			h.Treatment.Workloads = []string{"counter", "labyrinth"}
+		}, "pair by position"},
+	}
+	for _, tc := range cases {
+		h := minimal()
+		tc.mutate(h)
+		_, err := h.Validate(sim.DefaultParams())
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParseHypothesis(t *testing.T) {
+	h, err := ParseHypothesis([]byte(`{
+		"name": "x", "claim": "y", "metric": "cycles", "direction": "decrease",
+		"treatment": {"workloads": ["counter"], "modes": ["retcon"]},
+		"control": {"workloads": ["counter"], "modes": ["eager"]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Treatment.Name != "treatment" || h.Control.Name != "control" {
+		t.Errorf("arm names not defaulted: %q, %q", h.Treatment.Name, h.Control.Name)
+	}
+
+	if _, err := ParseHypothesis([]byte(`{"name": "x", "clam": "typo"}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseHypothesis([]byte(`{"name": "x"} {"name": "y"}`)); err == nil {
+		t.Error("trailing content accepted")
+	}
+}
+
+// TestRenderSnapshotSurvivesRebase: the findings quote the spec as
+// written, even after LoadFile rebases "spec:" references in place.
+func TestRenderSnapshotSurvivesRebase(t *testing.T) {
+	h, err := ParseHypothesis([]byte(`{
+		"name": "x", "claim": "y", "metric": "cycles", "direction": "decrease",
+		"treatment": {"workloads": ["spec:rel/w.json"], "modes": ["retcon"]},
+		"control": {"workloads": ["spec:rel/w.json"], "modes": ["eager"]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Treatment.Workloads[0] = "spec:/abs/rel/w.json" // what RebaseRefs does
+	if got := h.render[0].Workloads[0]; got != "spec:rel/w.json" {
+		t.Fatalf("render snapshot aliased the mutated slice: %q", got)
+	}
+}
+
+func TestRecordedPath(t *testing.T) {
+	got := RecordedPath("examples/hypotheses/zipf-skew.json", "zipf-skew")
+	if got != "examples/hypotheses/zipf-skew/FINDINGS.md" {
+		t.Fatalf("RecordedPath = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary is the descriptive statistics of one sample: size, mean,
+// sample standard deviation (n-1 denominator) and the half-width of the
+// 95% confidence interval on the mean (Student's t). CI95 is zero for
+// n < 2 samples and for zero-variance samples.
+type Summary struct {
+	N    int
+	Mean float64
+	SD   float64
+	CI95 float64
+}
+
+// Lo returns the lower bound of the 95% CI on the mean.
+func (s Summary) Lo() float64 { return s.Mean - s.CI95 }
+
+// Hi returns the upper bound of the 95% CI on the mean.
+func (s Summary) Hi() float64 { return s.Mean + s.CI95 }
+
+// Summarize computes the summary of xs.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n < 2 {
+		return Summary{N: n, Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return Summary{
+		N:    n,
+		Mean: mean,
+		SD:   sd,
+		CI95: tCrit(n-1) * sd / math.Sqrt(float64(n)),
+	}
+}
+
+// PairedDelta computes the summary of the per-index differences
+// t[i] - c[i]. The two samples must be paired (same length, index i in
+// both arms ran under the same seed).
+func PairedDelta(t, c []float64) (Summary, error) {
+	if len(t) != len(c) {
+		return Summary{}, fmt.Errorf("lab: paired samples differ in length (%d vs %d)", len(t), len(c))
+	}
+	d := make([]float64, len(t))
+	for i := range t {
+		d[i] = t[i] - c[i]
+	}
+	return Summarize(d), nil
+}
+
+// tTable holds the two-sided 97.5th-percentile Student's t critical
+// values for 1..30 degrees of freedom; beyond 30 the normal 1.96
+// approximation is within half a percent.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.960
+}
+
+// Direction is the expected effect direction of the metric under
+// treatment relative to control.
+type Direction int
+
+// Directions.
+const (
+	Increase Direction = iota
+	Decrease
+)
+
+// ParseDirection parses a spec direction.
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "increase", "up", "+":
+		return Increase, nil
+	case "decrease", "down", "-":
+		return Decrease, nil
+	}
+	return 0, fmt.Errorf(`lab: unknown direction %q (want "increase" or "decrease")`, s)
+}
+
+// String returns the spec spelling.
+func (d Direction) String() string {
+	if d == Decrease {
+		return "decrease"
+	}
+	return "increase"
+}
+
+// Flip returns the opposite direction (relabeling treatment as control
+// flips both the deltas and the direction; the verdict is invariant).
+func (d Direction) Flip() Direction {
+	if d == Decrease {
+		return Increase
+	}
+	return Decrease
+}
+
+// Verdict is a hypothesis outcome. The zero value is Inconclusive so a
+// cell that never reaches judgment stays unresolved rather than decided.
+type Verdict int
+
+// Verdicts.
+const (
+	Inconclusive Verdict = iota
+	Supported
+	Refuted
+)
+
+// String renders the verdict the way FINDINGS.md records it.
+func (v Verdict) String() string {
+	switch v {
+	case Supported:
+		return "SUPPORTED"
+	case Refuted:
+		return "REFUTED"
+	}
+	return "INCONCLUSIVE"
+}
+
+// Judge decides a cell's verdict from the paired-delta summary: the
+// claim is that the metric moves in the given direction under treatment
+// by more than minEffect (>= 0). The 95% CI of the mean paired delta
+// decides it:
+//
+//   - SUPPORTED when the whole CI lies beyond minEffect in the claimed
+//     direction;
+//   - REFUTED when the whole CI lies short of minEffect (the claimed
+//     effect size is excluded — absent, too small, or the wrong way);
+//   - INCONCLUSIVE when the CI straddles the threshold, the sample is
+//     too small (n < 2), or the delta is not finite.
+//
+// The rule is symmetric around the threshold, so swapping the arms and
+// flipping the direction always yields the same verdict.
+func Judge(delta Summary, dir Direction, minEffect float64) Verdict {
+	if delta.N < 2 || math.IsNaN(delta.Mean) || math.IsInf(delta.Mean, 0) ||
+		math.IsNaN(delta.CI95) || math.IsInf(delta.CI95, 0) {
+		return Inconclusive
+	}
+	lo, hi := delta.Lo(), delta.Hi()
+	switch dir {
+	case Increase:
+		if lo > minEffect {
+			return Supported
+		}
+		if hi < minEffect {
+			return Refuted
+		}
+	case Decrease:
+		if hi < -minEffect {
+			return Supported
+		}
+		if lo > -minEffect {
+			return Refuted
+		}
+	}
+	return Inconclusive
+}

@@ -1,0 +1,202 @@
+package lab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSummarizeFixtures(t *testing.T) {
+	sqrt5 := math.Sqrt(5)
+	cases := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"single", []float64{7.5}, Summary{N: 1, Mean: 7.5}},
+		{"zero variance", []float64{2, 2, 2}, Summary{N: 3, Mean: 2}},
+		// mean 3, SD sqrt(10/4), CI95 = t(4)=2.776 times SD/sqrt(5).
+		{"one to five", []float64{1, 2, 3, 4, 5}, Summary{
+			N: 5, Mean: 3, SD: math.Sqrt(2.5), CI95: 2.776 * math.Sqrt(2.5) / sqrt5,
+		}},
+		// Two points: mean 10, SD sqrt((4+4)/1), CI95 = 12.706*SD/sqrt(2).
+		{"pair", []float64{8, 12}, Summary{
+			N: 2, Mean: 10, SD: math.Sqrt(8), CI95: 12.706 * math.Sqrt(8) / math.Sqrt2,
+		}},
+	}
+	for _, tc := range cases {
+		got := Summarize(tc.xs)
+		if got.N != tc.want.N || !close(got.Mean, tc.want.Mean) ||
+			!close(got.SD, tc.want.SD) || !close(got.CI95, tc.want.CI95) {
+			t.Errorf("%s: Summarize(%v) = %+v, want %+v", tc.name, tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestPairedDeltaFixture(t *testing.T) {
+	// d = {2, 3, 4}: mean 3, SD 1, CI95 = t(2)=4.303 / sqrt(3).
+	d, err := PairedDelta([]float64{3, 5, 7}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{N: 3, Mean: 3, SD: 1, CI95: 4.303 / math.Sqrt(3)}
+	if d.N != want.N || !close(d.Mean, want.Mean) || !close(d.SD, want.SD) || !close(d.CI95, want.CI95) {
+		t.Fatalf("PairedDelta = %+v, want %+v", d, want)
+	}
+	if !close(d.Lo(), 3-want.CI95) || !close(d.Hi(), 3+want.CI95) {
+		t.Fatalf("bounds [%v, %v], want mean ± %v", d.Lo(), d.Hi(), want.CI95)
+	}
+	if _, err := PairedDelta([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {2, 4.303}, {4, 2.776}, {30, 2.042}, {31, 1.960}, {1000, 1.960}}
+	for _, tc := range cases {
+		if got := tCrit(tc.df); got != tc.want {
+			t.Errorf("tCrit(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	if !math.IsNaN(tCrit(0)) {
+		t.Error("tCrit(0) should be NaN")
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	for _, s := range []string{"increase", "Up", " + "} {
+		if d, err := ParseDirection(s); err != nil || d != Increase {
+			t.Errorf("ParseDirection(%q) = %v, %v", s, d, err)
+		}
+	}
+	for _, s := range []string{"decrease", "DOWN", "-"} {
+		if d, err := ParseDirection(s); err != nil || d != Decrease {
+			t.Errorf("ParseDirection(%q) = %v, %v", s, d, err)
+		}
+	}
+	if _, err := ParseDirection("sideways"); err == nil {
+		t.Error("bad direction accepted")
+	}
+	if Increase.Flip() != Decrease || Decrease.Flip() != Increase {
+		t.Error("Flip is not an involution on the two directions")
+	}
+}
+
+// sum builds a Summary with the given CI bounds for Judge fixtures.
+func sum(lo, hi float64) Summary {
+	return Summary{N: 5, Mean: (lo + hi) / 2, CI95: (hi - lo) / 2}
+}
+
+func TestJudgeFixtures(t *testing.T) {
+	cases := []struct {
+		name      string
+		delta     Summary
+		dir       Direction
+		minEffect float64
+		want      Verdict
+	}{
+		{"increase clear", sum(0.5, 0.9), Increase, 0.25, Supported},
+		{"increase excluded", sum(-0.1, 0.2), Increase, 0.25, Refuted},
+		{"increase straddles", sum(0.1, 0.4), Increase, 0.25, Inconclusive},
+		{"increase wrong way", sum(-0.9, -0.5), Increase, 0.25, Refuted},
+		{"increase zero effect", sum(0.01, 0.05), Increase, 0, Supported},
+		{"decrease clear", sum(-0.9, -0.5), Decrease, 0.25, Supported},
+		{"decrease excluded", sum(-0.2, 0.1), Decrease, 0.25, Refuted},
+		{"decrease straddles", sum(-0.4, -0.1), Decrease, 0.25, Inconclusive},
+		{"too few samples", Summary{N: 1, Mean: 10}, Increase, 0, Inconclusive},
+		{"nan mean", Summary{N: 5, Mean: math.NaN()}, Increase, 0, Inconclusive},
+		{"inf ci", Summary{N: 5, Mean: 1, CI95: math.Inf(1)}, Increase, 0, Inconclusive},
+	}
+	for _, tc := range cases {
+		if got := Judge(tc.delta, tc.dir, tc.minEffect); got != tc.want {
+			t.Errorf("%s: Judge(%+v, %v, %v) = %v, want %v",
+				tc.name, tc.delta, tc.dir, tc.minEffect, got, tc.want)
+		}
+	}
+}
+
+// TestCIShrinksWithN: for a fixed-spread sample, the CI half-width
+// strictly shrinks as the sample grows (t(df) and 1/sqrt(n) both fall).
+func TestCIShrinksWithN(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(10 + 2*(i%2)) // alternating 10, 12: SD constant
+		}
+		ci := Summarize(xs).CI95
+		if !(ci < prev) {
+			t.Fatalf("CI95 did not shrink: n=%d gives %v, previous %v", n, ci, prev)
+		}
+		prev = ci
+	}
+}
+
+// TestPairedDeltaSign: when treatment beats control on every seed, the
+// paired mean delta is positive (and judged at least not-REFUTED against
+// a zero threshold); symmetrically when it loses on every seed.
+func TestPairedDeltaSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		tr := make([]float64, n)
+		ct := make([]float64, n)
+		for i := range tr {
+			ct[i] = rng.NormFloat64()
+			tr[i] = ct[i] + 0.01 + rng.Float64() // strictly above control
+		}
+		d, err := PairedDelta(tr, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Mean <= 0 {
+			t.Fatalf("trial %d: every t[i] > c[i] but mean delta %v <= 0", trial, d.Mean)
+		}
+		if Judge(d, Increase, 0) == Refuted {
+			t.Fatalf("trial %d: uniformly positive deltas judged REFUTED for increase/0", trial)
+		}
+		if rd, _ := PairedDelta(ct, tr); rd.Mean >= 0 {
+			t.Fatalf("trial %d: swapped arms should negate the mean, got %v", trial, rd.Mean)
+		}
+	}
+}
+
+// TestJudgeRelabelInvariance: swapping treatment and control negates the
+// deltas; with the direction flipped too, the verdict must not change.
+func TestJudgeRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(8)
+		tr := make([]float64, n)
+		ct := make([]float64, n)
+		for i := range tr {
+			tr[i] = rng.NormFloat64()
+			ct[i] = rng.NormFloat64()
+		}
+		minEffect := rng.Float64()
+		dir := Increase
+		if rng.Intn(2) == 1 {
+			dir = Decrease
+		}
+		d, _ := PairedDelta(tr, ct)
+		rd, _ := PairedDelta(ct, tr)
+		v, rv := Judge(d, dir, minEffect), Judge(rd, dir.Flip(), minEffect)
+		if v != rv {
+			t.Fatalf("trial %d: Judge(%+v, %v, %v) = %v but relabeled Judge(%+v, %v, %v) = %v",
+				trial, d, dir, minEffect, v, rd, dir.Flip(), minEffect, rv)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Supported.String() != "SUPPORTED" || Refuted.String() != "REFUTED" ||
+		Inconclusive.String() != "INCONCLUSIVE" || Verdict(42).String() != "INCONCLUSIVE" {
+		t.Error("verdict strings diverge from the FINDINGS.md spelling")
+	}
+}

@@ -1,0 +1,122 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Findings is the third structured sink beside JSONL and CSV: a
+// deterministic markdown document builder for recorded experiment
+// findings (the hypothesis lab's FINDINGS.md). Every emitting method
+// normalizes whitespace the same way on every run, and all float
+// rendering goes through FormatFloat, so a findings document built from
+// identical numbers is byte-identical no matter which worker count or
+// scheduler produced them.
+//
+// The zero value is ready to use.
+type Findings struct {
+	buf bytes.Buffer
+}
+
+// FormatFloat is the one float renderer findings documents use: shortest
+// 'g' form at 6 significant digits. Centralizing it keeps recorded
+// documents stable against formatting drift.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Heading emits a markdown heading at the given level (1-6), surrounded
+// by blank lines (the document collapses leading blanks).
+func (f *Findings) Heading(level int, text string) {
+	if level < 1 {
+		level = 1
+	}
+	if level > 6 {
+		level = 6
+	}
+	f.blank()
+	fmt.Fprintf(&f.buf, "%s %s\n", strings.Repeat("#", level), text)
+}
+
+// Field emits a bolded "**name:** value" line.
+func (f *Findings) Field(name, value string) {
+	fmt.Fprintf(&f.buf, "**%s:** %s\n", name, value)
+}
+
+// Para emits a paragraph separated by blank lines.
+func (f *Findings) Para(text string) {
+	f.blank()
+	f.buf.WriteString(strings.TrimSpace(text))
+	f.buf.WriteByte('\n')
+}
+
+// Quote emits a blockquote paragraph.
+func (f *Findings) Quote(text string) {
+	f.blank()
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		fmt.Fprintf(&f.buf, "> %s\n", strings.TrimSpace(line))
+	}
+}
+
+// Code emits a fenced code block.
+func (f *Findings) Code(lang, body string) {
+	f.blank()
+	fmt.Fprintf(&f.buf, "```%s\n%s\n```\n", lang, strings.TrimRight(body, "\n"))
+}
+
+// List emits a bulleted list.
+func (f *Findings) List(items []string) {
+	f.blank()
+	for _, it := range items {
+		fmt.Fprintf(&f.buf, "- %s\n", it)
+	}
+}
+
+// Table emits a pipe table with the given header and rows. Cells are
+// emitted verbatim; ragged rows are padded with empty cells.
+func (f *Findings) Table(header []string, rows [][]string) {
+	f.blank()
+	emit := func(cells []string) {
+		f.buf.WriteByte('|')
+		for i := 0; i < len(header); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&f.buf, " %s |", c)
+		}
+		f.buf.WriteByte('\n')
+	}
+	emit(header)
+	f.buf.WriteByte('|')
+	for range header {
+		f.buf.WriteString("---|")
+	}
+	f.buf.WriteByte('\n')
+	for _, r := range rows {
+		emit(r)
+	}
+}
+
+// Sep emits one blank separator line (between a heading and a field
+// block, say). No-op on an empty document.
+func (f *Findings) Sep() { f.blank() }
+
+// blank separates blocks with exactly one empty line (none at the top).
+func (f *Findings) blank() {
+	if f.buf.Len() > 0 {
+		f.buf.WriteByte('\n')
+	}
+}
+
+// Bytes returns the rendered document.
+func (f *Findings) Bytes() []byte { return f.buf.Bytes() }
+
+// WriteTo writes the rendered document to w.
+func (f *Findings) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(f.buf.Bytes())
+	return int64(n), err
+}

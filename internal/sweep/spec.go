@@ -34,17 +34,17 @@ type Spec struct {
 	// compiles it with the given parameter overrides and registers it so
 	// the run loop resolves it like any other name. Relative reference
 	// paths in a spec file are taken relative to that file.
-	Workloads []string `json:"workloads"`
+	Workloads []string `json:"workloads,omitempty"`
 	// Modes are "eager", "lazy-vb" and/or "retcon"; "all" expands to the
 	// three of them.
-	Modes []string `json:"modes"`
-	Cores []int    `json:"cores"`
-	Seeds []int64  `json:"seeds"`
+	Modes []string `json:"modes,omitempty"`
+	Cores []int    `json:"cores,omitempty"`
+	Seeds []int64  `json:"seeds,omitempty"`
 	// Params patches the base machine for every run of the spec.
-	Params ParamPatch `json:"params"`
+	Params ParamPatch `json:"params,omitzero"`
 	// Overrides patch individual axis points (e.g. one workload under one
 	// mode) on top of Params.
-	Overrides []Override `json:"overrides"`
+	Overrides []Override `json:"overrides,omitempty"`
 }
 
 // Override is a conditional parameter patch: Params applies to every
@@ -237,9 +237,7 @@ func LoadSpecFile(path string) ([]Spec, error) {
 	}
 	dir := filepath.Dir(path)
 	for i := range specs {
-		for j, name := range specs[i].Workloads {
-			specs[i].Workloads[j] = wspec.RebaseRef(name, dir)
-		}
+		wspec.RebaseRefs(specs[i].Workloads, dir)
 	}
 	return specs, nil
 }
@@ -365,6 +363,20 @@ func resolveWorkload(name string) error {
 	}
 	_, err := workloads.Lookup(name)
 	return err
+}
+
+// ExpandWithSeeds expands the spec with the given seed list substituted
+// for its own Seeds axis. Grid harnesses that own the seed axis (the
+// hypothesis lab pairs treatment and control cells seed by seed) expand
+// both grids through this so every cell carries the same seeds in the
+// same order; everything else matches Expand.
+func (s *Spec) ExpandWithSeeds(base sim.Params, seeds []int64) ([]Run, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sweep: spec %q: ExpandWithSeeds needs at least one seed", s.Name)
+	}
+	s2 := *s
+	s2.Seeds = seeds
+	return s2.Expand(base)
 }
 
 // ExpandAll expands every spec and concatenates the runs in spec order.

@@ -49,6 +49,36 @@ type key struct {
 
 func (r Run) key() key { return key{r.Workload, r.Seed, r.Params} }
 
+// CellKey is a run's identity with the seed removed: the "cell" of a
+// multi-seed grid. All runs of one cell are the same configuration
+// executed under different workload input seeds — the unit over which
+// per-seed statistics (means, CIs, paired deltas) are computed.
+type CellKey struct {
+	Workload string
+	Params   sim.Params
+}
+
+// CellKey returns the run's seedless identity.
+func (r Run) CellKey() CellKey { return CellKey{r.Workload, r.Params} }
+
+// GroupCells partitions runs into maximal consecutive groups sharing one
+// CellKey, preserving run order inside each group. Expansion is
+// seed-minor (workload-major, then mode, cores, seed), so the runs of a
+// grid expanded with ExpandWithSeeds group into one cell per axis point,
+// each listing its seeds in expansion order.
+func GroupCells(runs []Run) [][]Run {
+	var cells [][]Run
+	for i := 0; i < len(runs); {
+		j := i + 1
+		for j < len(runs) && runs[j].CellKey() == runs[i].CellKey() {
+			j++
+		}
+		cells = append(cells, runs[i:j])
+		i = j
+	}
+	return cells
+}
+
 // Outcome is a completed (or failed) run.
 type Outcome struct {
 	Run Run
@@ -156,6 +186,13 @@ func (ix *BaselineIndex) Add(o Outcome) {
 	if o.Err == nil {
 		ix.cycles[o.Run.key()] = o.Res.Cycles
 	}
+}
+
+// Cycles returns the indexed 1-core eager baseline cycle count for the
+// run's configuration, if its baseline was executed and succeeded.
+func (ix *BaselineIndex) Cycles(run Run) (int64, bool) {
+	bc, ok := ix.cycles[run.baseline().key()]
+	return bc, ok
 }
 
 // Attach fills rec's BaselineCycles and Speedup from run's baseline, if

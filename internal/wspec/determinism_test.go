@@ -3,12 +3,11 @@ package wspec_test
 import (
 	"encoding/json"
 	"path/filepath"
-	"reflect"
 	"testing"
 
-	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/testutil"
 	"repro/internal/workloads"
 	"repro/internal/wspec"
 )
@@ -31,28 +30,11 @@ func TestCompileDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, threads := range []int{1, 4, 8} {
-			a := w.Build(threads, 3)
-			b := w.Build(threads, 3)
-			if !a.Mem.Equal(b.Mem) {
-				t.Fatalf("%s @%d: images differ at word %#x", path, threads, a.Mem.DiffWord(b.Mem))
-			}
-			for i := range a.Programs {
-				if !reflect.DeepEqual(a.Programs[i].Instrs, b.Programs[i].Instrs) {
-					t.Fatalf("%s @%d: thread %d programs differ", path, threads, i)
-				}
-			}
-		}
+		testutil.SeedMatrix(t, []int{1, 4, 8}, []int64{3}, func(threads int, seed int64) {
+			label := path + "@" + spec.Name
+			testutil.AssertSameBuild(t, label, w.Build(threads, seed), w.Build(threads, seed))
+		})
 	}
-}
-
-// snapshot copies the image's words (the final architectural state).
-func snapshot(img *mem.Image) []int64 {
-	out := make([]int64, img.Size()/mem.WordSize)
-	for i := range out {
-		out[i] = img.Read64(int64(i) * mem.WordSize)
-	}
-	return out
 }
 
 // TestSchedulerDeterminism: a compiled spec produces byte-identical
@@ -69,37 +51,12 @@ func TestSchedulerDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
-		var refRes *sim.Result
-		var refImg []int64
-		for _, sched := range []sim.SchedKind{sim.SchedLockstep, sim.SchedEvent} {
-			bundle := w.Build(8, 1)
-			p := sim.DefaultParams()
-			p.Cores = 8
-			p.Mode = mode
-			p.Sched = sched
-			m, err := sim.New(p, bundle.Mem, bundle.Programs)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := m.Run()
-			if err != nil {
-				t.Fatalf("%v/%v: %v", mode, sched, err)
-			}
-			if err := bundle.Verify(bundle.Mem); err != nil {
-				t.Fatalf("%v/%v: %v", mode, sched, err)
-			}
-			img := snapshot(bundle.Mem)
-			if refRes == nil {
-				refRes, refImg = res, img
-				continue
-			}
-			if !reflect.DeepEqual(refRes, res) {
-				t.Fatalf("%v: results diverge between schedulers:\nlockstep: %+v\nevent:    %+v", mode, refRes, res)
-			}
-			if !reflect.DeepEqual(refImg, img) {
-				t.Fatalf("%v: final memory diverges between schedulers", mode)
-			}
-		}
+		p := sim.DefaultParams()
+		p.Cores = 8
+		p.Mode = mode
+		testutil.CrossSched(t, spec.Name, p, func() *workloads.Bundle {
+			return w.Build(8, 1)
+		}, false, nil)
 	}
 }
 

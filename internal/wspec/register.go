@@ -77,6 +77,15 @@ func RebaseRef(ref, dir string) string {
 	return RefPrefix + filepath.Join(dir, rest) + query
 }
 
+// RebaseRefs rewrites every spec reference in names in place against
+// dir (see RebaseRef). Grid files that embed workload references — sweep
+// specs, hypothesis specs — rebase their axes through this at load time.
+func RebaseRefs(names []string, dir string) {
+	for i, n := range names {
+		names[i] = RebaseRef(n, dir)
+	}
+}
+
 // Resolve loads, compiles and registers the referenced spec in the
 // default workloads registry under the full reference string, so every
 // registry consumer (the sweep engine's run loop, the CLIs, the report
