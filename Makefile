@@ -7,6 +7,10 @@
 #   make race        full test suite under the race detector
 #   make ci          what CI runs: vet + full tests
 #   make bench       time the cycle loop under both schedulers -> BENCH_sim.json
+#   make bench-check replay BENCH_sim.json's budgets: recorded speedups
+#                    must be >=1.0 and allocs within the per-mode
+#                    ceilings, then re-measure the grid against the same
+#                    budgets with noise headroom (the CI gate)
 #   make bench-smoke compile-and-run every benchmark once (the CI gate)
 #   make profile     CPU+heap profile of a conflict-heavy run -> cpu.pprof/mem.pprof
 #   make paperbench  regenerate the paper's figures and tables concurrently
@@ -26,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race ci bench bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record
+.PHONY: build vet test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record
 
 build:
 	$(GO) build ./...
@@ -68,6 +72,13 @@ lab-record: build
 bench: build
 	$(GO) run ./cmd/simbench -out BENCH_sim.json
 
+# Budget replay: the committed BENCH_sim.json must record event-scheduler
+# speedup >= 1.0 on every entry and per-mode allocs/kcycle within the
+# ceilings (RetCon budgeted at 2x eager), and a fresh measurement of the
+# same grid must stay within noise headroom of those budgets.
+bench-check: build
+	$(GO) run ./cmd/simbench -check BENCH_sim.json
+
 # Benchmark smoke: every benchmark in the tree compiles and survives one
 # iteration. CI runs this so benchmark code cannot rot unnoticed.
 bench-smoke: build
@@ -78,7 +89,10 @@ bench-smoke: build
 profile: build
 	$(GO) run ./cmd/retcon-sim -workload counter -cores 64 -mode eager -speedup=false \
 		-cpuprofile cpu.pprof -memprofile mem.pprof
-	@echo "wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
+	$(GO) run ./cmd/simbench -reps 1 -workloads counter,genome,python_opt -modes RetCon \
+		-cpuprofile cpu_retcon.pprof
+	@echo "wrote cpu.pprof, mem.pprof and cpu_retcon.pprof"
+	@echo "slice the labeled profile: go tool pprof -tagfocus sched=event cpu_retcon.pprof"
 
 paperbench: build
 	$(GO) run ./cmd/paperbench

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
@@ -83,13 +85,63 @@ type State struct {
 	ivb  []IVBEntry   // sorted by Block
 	ssb  []SSBEntry   // sorted by WordAddr
 	cons []Constraint // sorted by Word
-	Regs [isa.NumRegs]SymVal
+	// Regs is the symbolic register file. All writes go through SetReg (or
+	// ClearReg) so regsMask names every possibly-nonzero register: Reset
+	// then clears only those instead of memclr-ing the whole file — at one
+	// Reset per commit or abort, short transactions were paying more to
+	// zero registers than to repair them.
+	Regs     [isa.NumRegs]SymVal
+	regsMask uint32
 }
+
+// maxPrealloc bounds Configure's up-front buffer capacity: the
+// idealized-machine ablations configure effectively unlimited entries,
+// which keep growing on demand instead.
+const maxPrealloc = 4096
 
 // NewState creates RETCON state with the given configuration.
 func NewState(cfg Config) *State {
-	return &State{Cfg: cfg}
+	s := &State{}
+	s.Configure(cfg)
+	return s
 }
+
+// Configure sets the structure configuration and preallocates each buffer
+// to its configured capacity (bounded by maxPrealloc), so steady-state
+// tracking in a pooled machine never grows a buffer mid-transaction.
+func (s *State) Configure(cfg Config) {
+	s.Cfg = cfg
+	if n := min(cfg.IVBEntries, maxPrealloc); cap(s.ivb) < n {
+		s.ivb = make([]IVBEntry, 0, n)
+	}
+	if n := min(cfg.SSBEntries, maxPrealloc); cap(s.ssb) < n {
+		s.ssb = make([]SSBEntry, 0, n)
+	}
+	if n := min(cfg.ConstraintEntries, maxPrealloc); cap(s.cons) < n {
+		s.cons = make([]Constraint, 0, n)
+	}
+}
+
+// SetReg writes the symbolic register file, recording the register in the
+// touched mask consumed by Reset and TouchedRegs.
+func (s *State) SetReg(r isa.Reg, v SymVal) {
+	s.Regs[r] = v
+	s.regsMask |= 1 << uint(r)
+}
+
+// ClearReg invalidates a register's symbolic value. The mask-free read
+// check keeps the overwhelmingly common concrete-overwrites-concrete case
+// to a one-byte load.
+func (s *State) ClearReg(r isa.Reg) {
+	if s.Regs[r].Valid {
+		s.Regs[r] = SymVal{}
+	}
+}
+
+// TouchedRegs returns the mask of registers written since the last Reset —
+// a superset of the registers currently holding Valid symbolic values,
+// letting the commit repair walk only plausible registers.
+func (s *State) TouchedRegs() uint32 { return s.regsMask }
 
 // Reset clears all symbolic state (transaction commit or abort), keeping
 // the buffers.
@@ -97,7 +149,10 @@ func (s *State) Reset() {
 	s.ivb = s.ivb[:0]
 	s.ssb = s.ssb[:0]
 	s.cons = s.cons[:0]
-	s.Regs = [isa.NumRegs]SymVal{}
+	for m := s.regsMask; m != 0; m &= m - 1 {
+		s.Regs[bits.TrailingZeros32(m)] = SymVal{}
+	}
+	s.regsMask = 0
 }
 
 // Empty reports whether no symbolic state is held.

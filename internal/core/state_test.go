@@ -168,8 +168,8 @@ func TestStatsAndReset(t *testing.T) {
 	s.MarkLost(mem.BlockOf(b1))
 	s.PutStore(b1, 5, Sym(b1))
 	s.Constrain(b2, Point(0))
-	s.Regs[3] = Sym(b1) // root lost => counted as repaired
-	s.Regs[4] = Sym(b2) // root not lost => not counted
+	s.SetReg(3, Sym(b1)) // root lost => counted as repaired
+	s.SetReg(4, Sym(b2)) // root not lost => not counted
 
 	st := s.Stats()
 	if st.BlocksTracked != 2 || st.BlocksLost != 1 || st.PrivateStores != 1 ||

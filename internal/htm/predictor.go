@@ -1,5 +1,7 @@
 package htm
 
+import "math/bits"
+
 // Predictor decides which blocks a core should track symbolically. It
 // learns from observed conflicts (§5.1: "RETCON uses a predictor to
 // determine which data blocks invoke value-based and symbolic tracking.
@@ -7,6 +9,14 @@ package htm
 // constraint causes the predictor to train down aggressively, requiring
 // the observation of 100 conflicts on that block before attempting
 // symbolic tracking on that block again").
+//
+// The table is a flat open-addressing hash (linear probing, power-of-two
+// size) rather than a Go map: Tracks sits on the symbolic-mode load path,
+// where one multiply-shift hash and a probe over inline value slots beats
+// the map's hashing and bucket walk, and entries never allocate. Slots
+// are epoch-tagged — a slot belongs to the current epoch or is vacant —
+// so Reset is one counter increment instead of an O(buckets) clear,
+// which keeps pooled-machine Reset cost flat for short-run sweeps.
 type Predictor struct {
 	// PromoteAfter is the number of observed conflicts before a block is
 	// tracked symbolically.
@@ -15,54 +25,126 @@ type Predictor struct {
 	// constraint violation before tracking is attempted again.
 	ViolationPenalty int
 
-	// entries is value-typed: predictor lookups sit on the symbolic-mode
-	// load path, and pointer-valued entries would add a heap allocation
-	// per trained block.
-	entries map[int64]predEntry
+	slots []predSlot
+	shift uint // 64 - log2(len(slots)): multiply-shift hash to slot index
+	live  int  // slots belonging to the current epoch
+	epoch uint64
 }
 
-type predEntry struct {
-	conflicts int
+type predSlot struct {
+	block     int64
+	epoch     uint64 // == Predictor.epoch when the slot is live
+	conflicts int32
 	tracking  bool
+}
+
+// predInitialSlots is the starting table size (per core; the table doubles
+// at 3/4 load). fibHash spreads block numbers — which are dense small
+// integers — across the whole table.
+const predInitialSlots = 256
+
+func fibHash(block int64, shift uint) int {
+	return int((uint64(block) * 0x9E3779B97F4A7C15) >> shift)
 }
 
 // NewPredictor creates a predictor with the paper's parameters
 // (promote quickly, 100-conflict penalty after a violated constraint).
 func NewPredictor(promoteAfter, violationPenalty int) *Predictor {
-	p := &Predictor{entries: make(map[int64]predEntry)}
+	p := &Predictor{
+		slots: make([]predSlot, predInitialSlots),
+		shift: uint(64 - bits.TrailingZeros(predInitialSlots)),
+		epoch: 1,
+	}
 	p.ResetTo(promoteAfter, violationPenalty)
 	return p
+}
+
+// find returns the live slot for block, or nil. Live entries form
+// contiguous probe runs (insertion claims the first vacant slot and
+// nothing is ever deleted within an epoch), so the probe stops at the
+// first vacant slot.
+func (p *Predictor) find(block int64) *predSlot {
+	mask := len(p.slots) - 1
+	for i := fibHash(block, p.shift); ; i = (i + 1) & mask {
+		s := &p.slots[i]
+		if s.epoch != p.epoch {
+			return nil
+		}
+		if s.block == block {
+			return s
+		}
+	}
+}
+
+// slot returns the live slot for block, inserting a zeroed one if absent.
+func (p *Predictor) slot(block int64) *predSlot {
+	mask := len(p.slots) - 1
+	for i := fibHash(block, p.shift); ; i = (i + 1) & mask {
+		s := &p.slots[i]
+		if s.epoch != p.epoch {
+			if p.live >= len(p.slots)-len(p.slots)/4 {
+				p.grow()
+				return p.slot(block)
+			}
+			*s = predSlot{block: block, epoch: p.epoch}
+			p.live++
+			return s
+		}
+		if s.block == block {
+			return s
+		}
+	}
+}
+
+// grow doubles the table, rehashing only the current epoch's entries.
+func (p *Predictor) grow() {
+	old := p.slots
+	p.slots = make([]predSlot, 2*len(old))
+	p.shift--
+	mask := len(p.slots) - 1
+	for _, s := range old {
+		if s.epoch != p.epoch {
+			continue
+		}
+		i := fibHash(s.block, p.shift)
+		for ; p.slots[i].epoch == p.epoch; i = (i + 1) & mask {
+		}
+		p.slots[i] = s
+	}
 }
 
 // Tracks reports whether loads from block should initiate symbolic
 // tracking.
 func (p *Predictor) Tracks(block int64) bool {
-	return p.entries[block].tracking
+	s := p.find(block)
+	return s != nil && s.tracking
 }
 
 // ObserveConflict trains the predictor up: the core aborted, was stalled,
 // or aborted a peer because of block.
 func (p *Predictor) ObserveConflict(block int64) {
-	e := p.entries[block]
-	e.conflicts++
-	if !e.tracking && e.conflicts >= p.PromoteAfter {
-		e.tracking = true
+	s := p.slot(block)
+	s.conflicts++
+	if !s.tracking && s.conflicts >= int32(p.PromoteAfter) {
+		s.tracking = true
 	}
-	p.entries[block] = e
 }
 
 // ObserveViolation trains the predictor down after a symbolic constraint
 // on the block failed at commit.
 func (p *Predictor) ObserveViolation(block int64) {
-	e := p.entries[block]
-	e.tracking = false
-	e.conflicts = -p.ViolationPenalty + p.PromoteAfter
-	p.entries[block] = e
+	s := p.slot(block)
+	s.tracking = false
+	s.conflicts = int32(-p.ViolationPenalty + p.PromoteAfter)
 }
 
 // Reset forgets all history (used between independent benchmark runs),
-// keeping the table's storage.
-func (p *Predictor) Reset() { clear(p.entries) }
+// keeping the table's storage: bumping the epoch vacates every slot at
+// once.
+func (p *Predictor) Reset() {
+	p.epoch++
+	p.live = 0
+}
 
 // ResetTo is Reset with new training parameters (machine reuse across
 // configurations).

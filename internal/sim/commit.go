@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/core"
 	"repro/internal/mem"
 )
@@ -103,8 +105,10 @@ func (m *Machine) commitRepair(c *Core) {
 		m.Mem.Write64(e.WordAddr, v)
 	}
 
-	// Repair symbolic registers with final values.
-	for r := range c.Ret.Regs {
+	// Repair symbolic registers with final values, walking only the
+	// registers the transaction touched.
+	for mask := c.Ret.TouchedRegs(); mask != 0; mask &= mask - 1 {
+		r := bits.TrailingZeros32(mask)
 		if s := c.Ret.Regs[r]; s.Valid {
 			c.Regs[r] = c.Ret.EvalSym(s)
 		}

@@ -129,7 +129,7 @@ func (c *Core) setReg(r isa.Reg, v int64) {
 // setRegSym records a register's symbolic value in RETCON mode.
 func (m *Machine) setRegSym(c *Core, r isa.Reg, sym core.SymVal) {
 	if m.P.Mode == RetCon && c.Tx.Active && r != isa.Zero {
-		c.Ret.Regs[r] = sym
+		c.Ret.SetReg(r, sym)
 	}
 }
 
@@ -221,7 +221,7 @@ func (m *Machine) propagateSym(c *Core, in *isa.Instr, concreteRs2 int64) bool {
 		// Concrete inputs, concrete output — the overwhelmingly common
 		// case, handled without the per-op switch.
 		if in.Rd != isa.Zero {
-			c.Ret.Regs[in.Rd] = core.SymVal{}
+			c.Ret.ClearReg(in.Rd)
 		}
 		return true
 	}
@@ -285,7 +285,7 @@ func (m *Machine) propagateSym(c *Core, in *isa.Instr, concreteRs2 int64) bool {
 		}
 	}
 	if in.Rd != isa.Zero {
-		c.Ret.Regs[in.Rd] = out
+		c.Ret.SetReg(in.Rd, out)
 	}
 	return true
 }

@@ -81,6 +81,14 @@ type Machine struct {
 	// earliest timed wake (see runScan).
 	nextReady []int
 	minStall  int64
+	// ready, popped and live are the schedulers' reusable scratch lists
+	// (due list, wheel drain buffer, dense-phase live-core list): machine-
+	// owned so steady-state runs allocate nothing in the cycle loops. The
+	// live list holds pointers — the dense loop iterates it every cycle and
+	// must not pay an ID→Core lookup per core.
+	ready  []int
+	popped []int
+	live   []*Core
 	// wheel is the large-machine wake queue, kept across runs so its slot
 	// arrays are reused (runWheel resets it in place).
 	wheel *wakeWheel
@@ -165,7 +173,7 @@ func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
 		if c.Ret == nil {
 			c.Ret = core.NewState(retCfg)
 		} else {
-			c.Ret.Cfg = retCfg
+			c.Ret.Configure(retCfg)
 			c.Ret.Reset()
 		}
 		if c.Pred == nil {
@@ -190,6 +198,9 @@ func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
 	m.wakes = m.wakes[:p.Cores]
 	m.pendingWakes = m.pendingWakes[:0]
 	m.nextReady = m.nextReady[:0]
+	m.ready = m.ready[:0]
+	m.popped = m.popped[:0]
+	m.live = m.live[:0]
 	m.minStall = 0
 	m.Now = 0
 	m.tsCounter = 0
@@ -233,7 +244,15 @@ func (m *Machine) Run() (*Result, error) {
 	if err := m.sched.Run(m); err != nil {
 		return nil, err
 	}
-	res := &Result{Cycles: m.Now, Cores: m.P.Cores, Mode: m.P.Mode}
+	// Presize PerCore: the append-growth resizes were most of the ~6
+	// steady-state allocations per run. (The slice must be fresh, not
+	// machine-owned: Results outlive the machine's next Reset.)
+	res := &Result{
+		Cycles:  m.Now,
+		Cores:   m.P.Cores,
+		Mode:    m.P.Mode,
+		PerCore: make([]CoreStats, 0, len(m.Cores)),
+	}
 	for _, c := range m.Cores {
 		res.PerCore = append(res.PerCore, c.Stats)
 		mergeAgg(&res.Retcon, &c.RetAgg)
@@ -341,14 +360,20 @@ func (m *Machine) releaseBarrier() {
 
 // addCycle attributes the current cycle to a category, accumulating busy
 // and other time inside transactions for reattribution on abort.
-func (c *Core) addCycle(cat Category) {
-	c.Stats.Cycles[cat]++
+func (c *Core) addCycle(cat Category) { c.chargeCycles(cat, 1) }
+
+// chargeCycles attributes n cycles to a category, accumulating busy and
+// other time inside transactions for reattribution on abort — the bulk
+// form shared by per-cycle attribution, lazy settling, and the dense
+// loop's idle-span skip.
+func (c *Core) chargeCycles(cat Category, n int64) {
+	c.Stats.Cycles[cat] += n
 	if c.Tx.Active {
 		switch cat {
 		case CatBusy:
-			c.Tx.AccumBusy++
+			c.Tx.AccumBusy += n
 		case CatOther:
-			c.Tx.AccumOther++
+			c.Tx.AccumOther += n
 		}
 	}
 }

@@ -33,6 +33,7 @@ func TestResetEquivalence(t *testing.T) {
 		{"labyrinth", sim.LazyVB, 4, sim.SchedEvent, 0},
 		{"counter", sim.Eager, 2, sim.SchedEvent, 16 << 10}, // cache geometry change
 		{"labyrinth", sim.RetCon, 32, sim.SchedEvent, 0},    // scan -> wheel crossover
+		{"genome", sim.RetCon, 32, sim.SchedEvent, 0},       // dense-phase hand-off path
 		{"counter", sim.Eager, 4, sim.SchedEvent, 0},        // back to the first config
 	}
 
@@ -89,6 +90,48 @@ func TestResetEquivalence(t *testing.T) {
 		if !freshBundle.Mem.Equal(reusedBundle.Mem) {
 			t.Errorf("run %d (%s/%v/%d/%v): final memory images diverge at word %#x",
 				i, g.wl, g.mode, g.cores, g.sched, freshBundle.Mem.DiffWord(reusedBundle.Mem))
+		}
+	}
+}
+
+// TestResetReuseAllocsFlat checks that a pooled machine reaches a flat
+// allocation steady state under reuse in every mode: after a warm-up run
+// grows the buffers, each further Reset+Run allocates only the Result and
+// its presized PerCore slice. This is what keeps the symbolic modes as
+// cheap as eager on the grid harnesses — RetCon's per-access bookkeeping
+// (IVB/SSB/constraint buffers, predictor table, symbolic register file)
+// must all live in machine-owned storage that Reset recycles, never in
+// per-run heap growth.
+func TestResetReuseAllocsFlat(t *testing.T) {
+	const maxAllocsPerRun = 4 // measured: exactly 2 (Result + PerCore)
+	for _, mode := range []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon} {
+		w, err := workloads.Lookup("counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := sim.DefaultParams()
+		p.Cores = 16
+		p.Mode = mode
+		bundle := w.Build(16, 1)
+		m, err := sim.New(p, bundle.Mem, bundle.Programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err) // warm-up: grow buffers to steady state
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if err := m.Reset(p, bundle.Mem, bundle.Programs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%v: %.1f allocs per pooled Reset+Run", mode, allocs)
+		if allocs > maxAllocsPerRun {
+			t.Errorf("%v: %.1f allocs per pooled Reset+Run, want <= %d",
+				mode, allocs, maxAllocsPerRun)
 		}
 	}
 }
