@@ -2,10 +2,12 @@
 #
 #   make build       compile everything
 #   make vet         go vet, must stay clean
+#   make lint        cmd/retcon-lint: the determinism / reset-completeness /
+#                    hot-path allocation analyzers, must stay clean over ./...
 #   make test        the tier-1 gate: build + full test suite
 #   make test-short  quick iteration loop (skips the slow verification grids)
 #   make race        full test suite under the race detector
-#   make ci          what CI runs: vet + full tests
+#   make ci          what CI runs: vet + lint + full tests
 #   make bench       time the cycle loop under both schedulers -> BENCH_sim.json
 #   make bench-check replay BENCH_sim.json's budgets: recorded speedups
 #                    must be >=1.0 and allocs within the per-mode
@@ -30,13 +32,19 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record
+.PHONY: build vet lint test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static contract enforcement (internal/analysis): maporder, nondetsource,
+# resetcomplete and hotpathalloc over the whole module. Every suppression
+# in the tree carries a reason; a bare annotation is itself a finding.
+lint:
+	$(GO) run ./cmd/retcon-lint ./...
 
 test: build
 	$(GO) test ./...
@@ -47,7 +55,7 @@ test-short: build
 race: build
 	$(GO) test -race ./...
 
-ci: vet test wload-smoke lab-smoke
+ci: vet lint test wload-smoke lab-smoke
 
 # Declarative-workload smoke: every spec in the preset library must
 # validate, compile, run under eager/lazy-vb/RetCon and pass its declared

@@ -1,0 +1,88 @@
+// Command retcon-lint runs the repo's custom static-analysis suite —
+// maporder, nondetsource, resetcomplete and hotpathalloc — over the
+// given package patterns and exits non-zero on any finding. It is the
+// compile-time half of the determinism/reset/allocation contracts whose
+// runtime halves are the byte-identical golden tests,
+// TestResetEquivalence and TestAllocsPerCycleRegression.
+//
+//	retcon-lint ./...              lint everything (what `make lint` runs)
+//	retcon-lint -analyzers maporder,resetcomplete ./internal/sim
+//	retcon-lint -list              describe the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lintkit"
+)
+
+func main() {
+	var (
+		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list  = flag.Bool("list", false, "describe the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retcon-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lintkit.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retcon-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := lintkit.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retcon-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "retcon-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(csv string) ([]*lintkit.Analyzer, error) {
+	if csv == "" {
+		return analysis.Suite, nil
+	}
+	byName := make(map[string]*lintkit.Analyzer)
+	for _, a := range analysis.Suite {
+		byName[a.Name] = a
+	}
+	var out []*lintkit.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(analysis.Suite))
+			for _, s := range analysis.Suite {
+				known = append(known, s.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,289 @@
+// Package hotpathalloc flags allocation-inducing constructs in functions
+// annotated //retcon:hotpath — the per-cycle scheduler loops, the memory
+// access path, the commit drain and the predictor probe, i.e. the
+// functions behind sim's TestAllocsPerCycleRegression steady-state
+// budget (2 allocs per Reset+Run). The dynamic test catches a
+// reintroduced allocation only after it runs; this analyzer names the
+// offending expression at compile time.
+//
+// Flagged inside a hotpath function:
+//
+//   - calls into fmt (formatting allocates, always);
+//   - make/new and heap-bound composite literals (&T{...}, slice and map
+//     literals — a plain T{...} value is fine);
+//   - function literals, except `defer func(){...}()`, which the
+//     compiler stack-allocates in open-coded defers;
+//   - implicit interface boxing: a concrete value passed to an
+//     interface parameter or converted to an interface type;
+//   - append whose destination is a function-local slice with no
+//     long-lived backing: appends to struct fields (m.buf) and to
+//     locals derived from fields or parameters (buf := m.buf[:0])
+//     amortize to zero against a reused machine, appends to a fresh
+//     local grow per call.
+//
+// Constructs that are genuinely free on the steady-state path (a
+// trace-gated boxing site, a cold branch) carry //lint:alloc-ok <reason>.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flags allocation-inducing constructs (fmt, make/new, escaping literals, " +
+		"closures, interface boxing, un-presized append) in //retcon:hotpath functions",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, hot := lintkit.FuncAnnot(fn, "hotpath"); !hot {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	// Deferred immediate closures (`defer func(){...}()`) are exempt:
+	// they cannot escape, so the compiler keeps them on the stack.
+	deferred := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		}
+		return true
+	})
+
+	owned := ownedLocals(fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if deferred[n] {
+				return true
+			}
+			if !pass.Suppressed(n.Pos(), "alloc-ok") {
+				pass.Reportf(n.Pos(), "closure in hotpath function %s: captured variables escape to the heap", fn.Name.Name)
+			}
+			return false // the literal's body is not the annotated hot path
+
+		case *ast.CompositeLit:
+			tv := pass.TypesInfo.Types[n]
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				if !pass.Suppressed(n.Pos(), "alloc-ok") {
+					pass.Reportf(n.Pos(), "%s literal allocates in hotpath function %s", kindName(tv.Type), fn.Name.Name)
+				}
+			}
+
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				if !pass.Suppressed(n.Pos(), "alloc-ok") {
+					pass.Reportf(n.Pos(), "&%s{...} escapes to the heap in hotpath function %s", types.ExprString(lit.Type), fn.Name.Name)
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, owned)
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}
+
+func checkCall(pass *lintkit.Pass, fn *ast.FuncDecl, call *ast.CallExpr, owned map[string]bool) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				if !pass.Suppressed(call.Pos(), "alloc-ok") {
+					pass.Reportf(call.Pos(), "%s allocates in hotpath function %s", id.Name, fn.Name.Name)
+				}
+			case "append":
+				checkAppend(pass, fn, call, owned)
+			}
+			return
+		}
+	}
+
+	// Conversions: only interface targets box.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypesInfo.Types[call.Args[0]].Type; at != nil && !types.IsInterface(at) {
+				if !pass.Suppressed(call.Pos(), "alloc-ok") {
+					pass.Reportf(call.Pos(), "conversion to interface %s boxes in hotpath function %s", tv.Type, fn.Name.Name)
+				}
+			}
+		}
+		return
+	}
+
+	// fmt calls.
+	if callee := calleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		if !pass.Suppressed(call.Pos(), "alloc-ok") {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hotpath function %s", callee.Name(), fn.Name.Name)
+		}
+		return
+	}
+
+	// Interface boxing at argument positions.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice through: no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.Type == nil || types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		if !pass.Suppressed(arg.Pos(), "alloc-ok") && !pass.Suppressed(call.Pos(), "alloc-ok") {
+			pass.Reportf(arg.Pos(), "argument %s boxes into interface %s in hotpath function %s", types.ExprString(arg), pt, fn.Name.Name)
+		}
+	}
+}
+
+// checkAppend allows appends whose destination is long-lived storage —
+// a field selector (m.buf), an indexed field (w.slots[s]), or a local
+// derived from fields or parameters — and flags appends to fresh
+// function-local slices, which grow per call.
+func checkAppend(pass *lintkit.Pass, fn *ast.FuncDecl, call *ast.CallExpr, owned map[string]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	for {
+		if idx, ok := dst.(*ast.IndexExpr); ok {
+			dst = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	switch d := dst.(type) {
+	case *ast.SelectorExpr:
+		return // field of a long-lived struct: amortized by reuse
+	case *ast.Ident:
+		if owned[d.Name] {
+			return
+		}
+	}
+	if !pass.Suppressed(call.Pos(), "alloc-ok") {
+		pass.Reportf(call.Pos(),
+			"append to %s grows a fresh slice in hotpath function %s: reuse a machine-owned buffer or presize it",
+			types.ExprString(call.Args[0]), fn.Name.Name)
+	}
+}
+
+// ownedLocals returns the names of fn's parameters, results, receiver
+// and the locals whose defining expression is rooted in a selector or
+// another owned name — storage that outlives the call, so appending to
+// it amortizes to zero on a reused machine. Ownership is tracked by
+// name, which is precise enough inside one hot function: shadowing an
+// owned name with a fresh slice and appending to it would slip through,
+// but that pattern has no business in hot-path code and the dynamic
+// allocation budget still backstops it.
+func ownedLocals(fn *ast.FuncDecl) map[string]bool {
+	owned := make(map[string]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				owned[name.Name] = true
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+
+	derived := func(expr ast.Expr) bool {
+		ok := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				ok = true
+				return false
+			case *ast.Ident:
+				if owned[n.Name] {
+					ok = true
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
+	// Two passes so chains (a := m.x; b := a[:0]) resolve regardless of
+	// statement order; hot functions are small.
+	for range 2 {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && derived(as.Rhs[i]) {
+					owned[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return owned
+}
+
+// calleeFunc resolves a call's callee to its types.Func, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

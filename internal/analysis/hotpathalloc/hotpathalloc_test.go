@@ -1,0 +1,33 @@
+package hotpathalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lintkit/difftest"
+)
+
+func TestGolden(t *testing.T) {
+	difftest.Run(t, hotpathalloc.Analyzer, "testdata/hot", "repro/internal/sim")
+}
+
+// TestCaught proves every allocation class in the fixture is found at
+// all — the fixture would sail through if the analyzer were disabled.
+// The analyzer is annotation-scoped rather than package-scoped, so
+// there is no package gate to test.
+func TestCaught(t *testing.T) {
+	diags := difftest.Findings(t, hotpathalloc.Analyzer, "testdata/hot", "repro/internal/sim")
+	if len(diags) != 9 {
+		t.Fatalf("got %d findings, want 9 (one per allocation class): %v", len(diags), diags)
+	}
+}
+
+// TestMissingReason: an alloc-ok with no reason suppresses the
+// underlying finding but is itself reported.
+func TestMissingReason(t *testing.T) {
+	diags := difftest.Findings(t, hotpathalloc.Analyzer, "testdata/noreason", "repro/internal/sim")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Fatalf("got %v, want exactly one missing-reason report", diags)
+	}
+}

@@ -1,0 +1,48 @@
+// Fixture for the hotpathalloc analyzer: every allocation class is
+// named inside a //retcon:hotpath function; machine-owned buffers,
+// deferred immediate closures, justified allocations and unannotated
+// functions are not.
+package fixture
+
+import "fmt"
+
+type machine struct {
+	buf   []int
+	ready []int
+}
+
+func sink(v interface{}) { _ = v }
+
+//retcon:hotpath fixture: every allocation class below must be named
+func (m *machine) hot(n int) {
+	s := make([]int, n) // want "make allocates"
+	_ = s
+	p := new(int) // want "new allocates"
+	_ = p
+	lit := []int{1, 2, 3} // want "slice literal allocates"
+	_ = lit
+	mp := map[int]int{} // want "map literal allocates"
+	_ = mp
+	box := &machine{} // want "escapes to the heap"
+	_ = box
+	f := func() int { return n } // want "closure in hotpath function"
+	_ = f
+	fmt.Sprintln(n) // want "fmt.Sprintln allocates"
+	sink(n)         // want "boxes into interface"
+	var fresh []int
+	fresh = append(fresh, 1) // want "grows a fresh slice"
+	_ = fresh
+
+	m.buf = append(m.buf, n)
+	ready := m.ready[:0]
+	ready = append(ready, n)
+	m.ready = ready
+	defer func() { m.buf = m.buf[:0] }()
+	//lint:alloc-ok fixture: justified cold-path allocation
+	cold := make([]int, n)
+	_ = cold
+}
+
+func cold(n int) []int {
+	return make([]int, n) // unannotated function: not checked
+}

@@ -1,0 +1,11 @@
+// Fixture: an alloc-ok with no reason suppresses the allocation
+// finding but is itself reported.
+package fixture
+
+type q struct{ buf []int }
+
+//retcon:hotpath fixture
+func (m *q) hot(n int) []int {
+	//lint:alloc-ok
+	return make([]int, n)
+}

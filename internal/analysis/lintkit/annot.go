@@ -1,0 +1,147 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation comment grammar. Suppressions use the //lint: namespace and
+// MUST carry a reason after the key — a suppression nobody can justify
+// is a finding, not an exemption:
+//
+//	//lint:maporder-safe <reason>   on (or directly above) a range stmt
+//	//lint:nondet-safe   <reason>   on (or directly above) the flagged stmt
+//	//lint:alloc-ok      <reason>   on (or directly above) the flagged expr
+//
+// Contract markers use the //retcon: namespace:
+//
+//	//retcon:hotpath [note]         in a function's doc comment: opt the
+//	                                function into hotpathalloc
+//	//retcon:reset-keep <reason>    on a struct field: the reset family
+//	                                deliberately preserves it
+const (
+	lintPrefix   = "//lint:"
+	retconPrefix = "//retcon:"
+)
+
+// An Annot is one parsed annotation comment line.
+type Annot struct {
+	Key    string // e.g. "maporder-safe", "reset-keep", "hotpath"
+	Reason string // text after the key; may be empty (which suppressors report)
+	Pos    token.Pos
+}
+
+// Annotations indexes every annotation comment in a package by file and
+// line, so analyzers can ask "is this node annotated?" in O(1).
+type Annotations struct {
+	fset    *token.FileSet
+	byPlace map[place][]Annot
+}
+
+type place struct {
+	file string
+	line int
+}
+
+// CollectAnnotations scans all comments of the given files.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, byPlace: make(map[place][]Annot)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				an, ok := parseAnnot(c.Text)
+				if !ok {
+					continue
+				}
+				an.Pos = c.Pos()
+				p := fset.Position(c.Pos())
+				a.byPlace[place{p.Filename, p.Line}] = append(a.byPlace[place{p.Filename, p.Line}], an)
+			}
+		}
+	}
+	return a
+}
+
+func parseAnnot(text string) (Annot, bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(text, lintPrefix):
+		rest = text[len(lintPrefix):]
+	case strings.HasPrefix(text, retconPrefix):
+		rest = text[len(retconPrefix):]
+	default:
+		return Annot{}, false
+	}
+	key, reason, _ := strings.Cut(rest, " ")
+	key = strings.TrimSpace(key)
+	if key == "" {
+		return Annot{}, false
+	}
+	return Annot{Key: key, Reason: strings.TrimSpace(reason)}, true
+}
+
+// At returns the annotation with the given key that applies to a node at
+// pos: a matching comment on the node's own line or on the line directly
+// above it. found reports whether any such annotation exists (even with
+// an empty reason — the caller decides whether that is a violation).
+func (a *Annotations) At(pos token.Pos, key string) (an Annot, found bool) {
+	p := a.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, cand := range a.byPlace[place{p.Filename, line}] {
+			if cand.Key == key {
+				return cand, true
+			}
+		}
+	}
+	return Annot{}, false
+}
+
+// Suppressed reports whether the node at pos carries a justified
+// suppression with the given key. When the annotation exists but has no
+// reason, it reports the missing reason through pass and still
+// suppresses the underlying finding (one diagnostic per site, the
+// actionable one).
+func (p *Pass) Suppressed(pos token.Pos, key string) bool {
+	an, found := p.Annots.At(pos, key)
+	if !found {
+		return false
+	}
+	if an.Reason == "" {
+		p.Reportf(an.Pos, "annotation //lint:%s requires a reason", key)
+	}
+	return true
+}
+
+// FuncAnnot returns the annotation with the given key from a function's
+// doc comment, if any.
+func FuncAnnot(decl *ast.FuncDecl, key string) (Annot, bool) {
+	if decl.Doc == nil {
+		return Annot{}, false
+	}
+	for _, c := range decl.Doc.List {
+		if an, ok := parseAnnot(c.Text); ok && an.Key == key {
+			an.Pos = c.Pos()
+			return an, true
+		}
+	}
+	return Annot{}, false
+}
+
+// FieldAnnot returns the annotation with the given key attached to a
+// struct field: in its doc comment, its trailing line comment, or (via
+// the package annotation index) on its own line or the line above.
+func (p *Pass) FieldAnnot(field *ast.Field, key string) (Annot, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if an, ok := parseAnnot(c.Text); ok && an.Key == key {
+				an.Pos = c.Pos()
+				return an, true
+			}
+		}
+	}
+	return p.Annots.At(field.Pos(), key)
+}

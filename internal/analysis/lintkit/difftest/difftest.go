@@ -1,0 +1,219 @@
+// Package difftest is the golden-fixture harness for retcon-lint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library: fixture files carry `// want "regexp"` comments
+// on the lines where the analyzer must report, and the harness fails on
+// both missed and unexpected diagnostics.
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Run loads the fixture directory as one package type-checked under the
+// synthetic import path pkgPath (which decides whether package-scoped
+// analyzers apply — use e.g. "repro/internal/sim" to stand for a
+// deterministic package), runs the analyzer, and matches its
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lintkit.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	diags := Findings(t, a, dir, pkgPath)
+	wants := parseWants(t, dir)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Findings runs the analyzer over the fixture package and returns its
+// raw diagnostics. Tests use it directly to assert that a seeded-bug
+// fixture is caught at all — the "fails when the analyzer is disabled"
+// guarantee — independent of the want-comment bookkeeping.
+func Findings(t *testing.T, a *lintkit.Analyzer, dir, pkgPath string) []lintkit.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports = append(imports, p)
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkg, err := lintkit.Check(pkgPath, fset, files, lintkit.ExportImporter(fset, stdExports(t, imports)))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	diags, err := lintkit.Run([]*lintkit.Package{pkg}, []*lintkit.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+var (
+	exportMu sync.Mutex
+	exports  = make(map[string]string)
+)
+
+// stdExports returns an importPath->export-file map covering the given
+// (standard library) imports and their dependencies, shelling out to
+// `go list -deps -export` once per not-yet-seen path and caching across
+// the test binary.
+func stdExports(t *testing.T, paths []string) map[string]string {
+	t.Helper()
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list %v: %v\n%s", missing, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	m := make(map[string]string, len(exports))
+	for k, v := range exports {
+		m[k] = v
+	}
+	return m
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts `// want "re" ["re" ...]` expectations.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range bytes.Split(data, []byte("\n")) {
+			m := wantRE.FindSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range splitQuoted(t, e.Name(), i+1, string(m[1])) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of double-quoted Go strings.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < len(s); {
+		if s[i] != '"' {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (s[j] != '"' || s[j-1] == '\\') {
+			j++
+		}
+		if j >= len(s) {
+			t.Fatalf("%s:%d: unterminated want pattern in %q", file, line, s)
+		}
+		pat, err := strconv.Unquote(s[i : j+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", file, line, s[i:j+1], err)
+		}
+		out = append(out, pat)
+		i = j + 1
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment with no patterns", file, line)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package lintkit is the minimal analysis framework behind retcon-lint.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer owns a Run function over a type-checked Pass and reports
+// position-tagged Diagnostics — but is built entirely on the standard
+// library (go/parser + go/types, with dependency export data served by
+// `go list -export`), because this repository vendors nothing. If the
+// tree ever grows an x/tools dependency, each analyzer's Run body ports
+// over unchanged.
+//
+// The framework exists to enforce this repo's three static contracts
+// (see DESIGN.md "Determinism contract and static enforcement"):
+//
+//   - determinism: byte-identical Results across schedulers and worker
+//     counts (analyzers maporder, nondetsource);
+//   - reset completeness: pooled machines behave like freshly
+//     constructed ones (analyzer resetcomplete);
+//   - hot-path allocation: steady-state runs stay at their pinned
+//     allocation budget (analyzer hotpathalloc).
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers flags.
+	Name string
+	// Doc is the one-paragraph description printed by retcon-lint -list.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed syntax trees, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and identifier facts.
+	TypesInfo *types.Info
+	// Annots indexes the //lint: and //retcon: annotation comments of
+	// every file in the package.
+	Annots *Annotations
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by file position then analyzer name — the output order
+// is part of the determinism contract the tool itself enforces.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		annots := CollectAnnotations(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Annots:    annots,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

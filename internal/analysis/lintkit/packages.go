@@ -1,0 +1,35 @@
+package lintkit
+
+import "strings"
+
+// DeterministicPackages names the packages whose code feeds simulation
+// Results and must therefore be schedule- and map-order-independent:
+// everything between a workload spec and the bytes of a Result, figure,
+// or FINDINGS.md. The maporder and nondetsource analyzers run only
+// here. cmd/ front-ends and the fuzz/testutil harnesses are excluded on
+// purpose — they own wall-clock progress meters and worker shuffling
+// that never reach a Result.
+var DeterministicPackages = []string{
+	"sim", "core", "htm", "coherence", "sweep", "report", "lab", "wspec",
+}
+
+// ResetPackages names the packages whose Reset/ResetTo/ResetFor types
+// participate in sim.MachinePool reuse; resetcomplete runs here.
+var ResetPackages = []string{
+	"sim", "core", "htm", "coherence", "cache", "mem", "isa",
+}
+
+// PathInSet reports whether the import path names one of the given
+// internal packages (matched as the path's last "internal/<name>"
+// suffix, so fixture packages type-checked under synthetic
+// "repro/internal/<name>" paths match too).
+func PathInSet(path string, set []string) bool {
+	for _, name := range set {
+		if path == name ||
+			strings.HasSuffix(path, "/internal/"+name) ||
+			strings.Contains(path, "/internal/"+name+"/") {
+			return true
+		}
+	}
+	return false
+}

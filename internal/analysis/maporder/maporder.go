@@ -1,0 +1,106 @@
+// Package maporder flags `range` over a map inside the deterministic
+// packages. Go randomizes map iteration order per run, so any such loop
+// whose effect depends on visit order — training a predictor, draining
+// stores, picking the first violated constraint, even choosing which
+// error to return — makes simulation Results differ run to run. Both
+// historical nondeterminism bugs in this repo (the PR-1 CheckConstraints
+// predictor-training fix and the PR-4 commit-drain hazard) were exactly
+// this pattern.
+//
+// A range over a map is accepted only when
+//
+//   - it is a key-collection loop — every statement in the body appends
+//     the loop key to a slice and nothing else, the standard
+//     collect-then-sort prelude (the caller sorts before use; the order
+//     the keys arrive in cannot matter because append is the only
+//     effect); or
+//   - it carries a //lint:maporder-safe <reason> annotation, for loops
+//     whose body is genuinely commutative (e.g. copying into another
+//     map, or summing).
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map in deterministic packages unless the loop " +
+		"only collects keys for sorting or carries //lint:maporder-safe <reason>",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.PathInSet(pass.Pkg.Path(), lintkit.DeterministicPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Suppressed(rs.Pos(), "maporder-safe") {
+				return true
+			}
+			if keyCollectionLoop(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is nondeterministic; collect and sort the keys first, or annotate //lint:maporder-safe <reason>",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// keyCollectionLoop reports whether the loop only gathers its keys into
+// slices: every body statement has the shape `s = append(s, k)` with k
+// the loop's key variable. Such a loop is order-insensitive by
+// construction — the slice ends up a permutation the caller must sort
+// regardless.
+func keyCollectionLoop(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		src, ok := call.Args[0].(*ast.Ident)
+		if !ok || src.Name != dst.Name {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		if !ok || arg.Name != key.Name {
+			return false
+		}
+	}
+	return true
+}

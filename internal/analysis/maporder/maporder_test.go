@@ -1,0 +1,43 @@
+package maporder_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit/difftest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestGolden(t *testing.T) {
+	difftest.Run(t, maporder.Analyzer, "testdata/det", "repro/internal/sim")
+}
+
+// TestSeededBugs replays the two historical map-order bugs (the PR-1
+// CheckConstraints predictor-training fix and the PR-4 commit-drain
+// hazard) and proves the analyzer catches both — the fixtures would
+// sail through if the analyzer were disabled.
+func TestSeededBugs(t *testing.T) {
+	difftest.Run(t, maporder.Analyzer, "testdata/seeded", "repro/internal/sim")
+	diags := difftest.Findings(t, maporder.Analyzer, "testdata/seeded", "repro/internal/sim")
+	if len(diags) != 2 {
+		t.Fatalf("seeded fixture: got %d findings, want 2 (PR-1 and PR-4 reconstructions): %v", len(diags), diags)
+	}
+}
+
+// TestScope proves the package gate: the same seeded bugs are out of
+// contract outside the deterministic packages.
+func TestScope(t *testing.T) {
+	diags := difftest.Findings(t, maporder.Analyzer, "testdata/seeded", "repro/internal/isa")
+	if len(diags) != 0 {
+		t.Fatalf("non-deterministic package: got %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestMissingReason: an annotation with no reason suppresses the
+// underlying finding but is itself reported.
+func TestMissingReason(t *testing.T) {
+	diags := difftest.Findings(t, maporder.Analyzer, "testdata/noreason", "repro/internal/sim")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Fatalf("got %v, want exactly one missing-reason report", diags)
+	}
+}

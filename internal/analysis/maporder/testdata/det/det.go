@@ -1,0 +1,38 @@
+// Fixture for the maporder analyzer: the flagged form, the
+// auto-accepted key-collection prelude, and the annotated commutative
+// form, type-checked as a deterministic package.
+package fixture
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func keyCollection(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func annotated(dst, src map[string]int) {
+	//lint:maporder-safe commutative copy into a fresh map
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func overSlice(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// Fixture: a suppression with no reason suppresses the map-order
+// finding but is itself reported.
+package fixture
+
+func missingReason(m map[string]int) {
+	//lint:maporder-safe
+	for k := range m {
+		delete(m, k)
+	}
+}

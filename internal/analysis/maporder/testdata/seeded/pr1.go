@@ -1,0 +1,19 @@
+// Seeded reconstruction of the PR-1 bug class: CheckConstraints walked
+// its constraint map in map iteration order, so WHICH violated word it
+// returned — and therefore which block the predictor trained down on —
+// differed run to run.
+package fixture
+
+type checker struct {
+	constraints map[int64]int64
+	root        map[int64]int64
+}
+
+func (c *checker) checkConstraints() int64 {
+	for w, exp := range c.constraints { // want "range over map"
+		if c.root[w] != exp {
+			return w
+		}
+	}
+	return -1
+}

@@ -1,0 +1,15 @@
+// Seeded reconstruction of the PR-4 bug class: the commit drain
+// iterated the symbolic store buffer as a map, applying stores — and
+// their conflict-hazard checks — in a different order each run.
+package fixture
+
+type drain struct {
+	ssb map[int64]int64
+	mem map[int64]int64
+}
+
+func (d *drain) drainStores() {
+	for addr, v := range d.ssb { // want "range over map"
+		d.mem[addr] = v
+	}
+}

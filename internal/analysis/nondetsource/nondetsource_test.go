@@ -1,0 +1,30 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lintkit/difftest"
+	"repro/internal/analysis/nondetsource"
+)
+
+func TestGolden(t *testing.T) {
+	difftest.Run(t, nondetsource.Analyzer, "testdata/det", "repro/internal/sweep")
+}
+
+// TestCaught proves the fixture's nondeterminism sources are found at
+// all — the fixture would sail through if the analyzer were disabled.
+func TestCaught(t *testing.T) {
+	diags := difftest.Findings(t, nondetsource.Analyzer, "testdata/det", "repro/internal/sweep")
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings, want 4 (clock, env, rand, goroutine): %v", len(diags), diags)
+	}
+}
+
+// TestScope proves the package gate: the same sources are out of
+// contract outside the deterministic packages.
+func TestScope(t *testing.T) {
+	diags := difftest.Findings(t, nondetsource.Analyzer, "testdata/det", "repro/internal/isa")
+	if len(diags) != 0 {
+		t.Fatalf("non-deterministic package: got %d findings, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,45 @@
+// Fixture for the nondetsource analyzer: wall clock, environment,
+// unseeded global rand and goroutine launches are flagged; explicitly
+// seeded generators, methods that merely share a banned name, and
+// justified goroutines are not.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "os.Getenv reads the process environment"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "draws from the unseeded global generator"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func launch(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine launch in deterministic package"
+}
+
+func annotatedLaunch(ch chan int) {
+	//lint:nondet-safe result is joined before any Result field is written
+	go func() { ch <- 2 }()
+}
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func methodNow(c clock) int {
+	return c.Now()
+}

@@ -1,0 +1,210 @@
+// Package resetcomplete statically proves reset completeness: for every
+// struct type with a Reset/ResetTo/ResetFor method (matched
+// case-insensitively, so unexported helpers like resetFor participate),
+// every field of the struct must be mentioned somewhere in the type's
+// reset family — assigned, cleared, passed to a resetter, or at least
+// consulted — or carry an explicit //retcon:reset-keep <reason>
+// annotation on its declaration.
+//
+// This is the static twin of sim's TestResetEquivalence: the dynamic
+// test proves a pooled machine behaves like a fresh one for the
+// configurations it runs, but every struct that gains a field silently
+// grows a leak risk between the field's introduction and the next time
+// the equivalence grid happens to exercise it. The analyzer turns
+// "forgot to extend Reset" — the way pooled state rot actually happens —
+// into a compile-time finding on the new field's declaration line.
+//
+// The check is mention-based, not dataflow-based, on purpose: it cannot
+// prove the reset value is *right* (TestResetEquivalence does that), but
+// a field the reset family never names at all has provably been
+// forgotten. Mentions are collected transitively through calls to other
+// methods on the same receiver (p.ResetTo calling p.Reset counts
+// Reset's assignments), and a whole-struct assignment `*r = T{...}`
+// counts every field.
+package resetcomplete
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the resetcomplete check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "resetcomplete",
+	Doc: "proves every field of a type with a Reset/ResetTo/ResetFor method is " +
+		"handled by the reset family or annotated //retcon:reset-keep <reason>",
+	Run: run,
+}
+
+// resetFamily reports whether name (lowercased) is a reset method name.
+func resetFamily(name string) bool {
+	switch strings.ToLower(name) {
+	case "reset", "resetto", "resetfor":
+		return true
+	}
+	return false
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.PathInSet(pass.Pkg.Path(), lintkit.ResetPackages) {
+		return nil
+	}
+
+	// Index the package's syntax: methods by (receiver type, name), and
+	// struct declarations by type name.
+	methods := make(map[string]map[string]*ast.FuncDecl)
+	structs := make(map[string]*ast.StructType)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil || len(d.Recv.List) != 1 {
+					continue
+				}
+				recv := receiverTypeName(d.Recv.List[0].Type)
+				if recv == "" {
+					continue
+				}
+				if methods[recv] == nil {
+					methods[recv] = make(map[string]*ast.FuncDecl)
+				}
+				methods[recv][d.Name.Name] = d
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structs[ts.Name.Name] = st
+					}
+				}
+			}
+		}
+	}
+
+	typeNames := make([]string, 0, len(structs))
+	for name := range structs {
+		typeNames = append(typeNames, name)
+	}
+	sort.Strings(typeNames) // deterministic report order across types
+
+	for _, typeName := range typeNames {
+		st := structs[typeName]
+		var resetters []*ast.FuncDecl
+		for name, decl := range methods[typeName] {
+			if resetFamily(name) {
+				resetters = append(resetters, decl)
+			}
+		}
+		if len(resetters) == 0 {
+			continue
+		}
+		sort.Slice(resetters, func(i, j int) bool { return resetters[i].Name.Name < resetters[j].Name.Name })
+
+		mentioned := make(map[string]bool)
+		whole := false
+		visited := make(map[*ast.FuncDecl]bool)
+		for _, decl := range resetters {
+			if collectMentions(decl, methods[typeName], mentioned, visited) {
+				whole = true
+			}
+		}
+		if whole {
+			continue // `*r = T{...}`: every field freshly assigned
+		}
+
+		family := make([]string, len(resetters))
+		for i, d := range resetters {
+			family[i] = d.Name.Name
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range fieldNames(field) {
+				if mentioned[name] {
+					continue
+				}
+				if an, found := pass.FieldAnnot(field, "reset-keep"); found {
+					if an.Reason == "" {
+						pass.Reportf(an.Pos, "annotation //retcon:reset-keep requires a reason")
+					}
+					continue
+				}
+				pass.Reportf(field.Pos(),
+					"field %s.%s is never mentioned by %s: pooled reuse will leak it across runs; reset it or annotate //retcon:reset-keep <reason>",
+					typeName, name, strings.Join(family, "/"))
+			}
+		}
+	}
+	return nil
+}
+
+// receiverTypeName unwraps *T / T receiver syntax to the type name.
+func receiverTypeName(expr ast.Expr) string {
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// fieldNames returns the declared names of a struct field (the type name
+// for an embedded field).
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) == 0 {
+		if n := receiverTypeName(field.Type); n != "" {
+			return []string{n}
+		}
+		return nil
+	}
+	names := make([]string, len(field.Names))
+	for i, id := range field.Names {
+		names[i] = id.Name
+	}
+	return names
+}
+
+// collectMentions records every `recv.x` selector in the method body
+// into mentioned, recursing into calls of the receiver's own methods.
+// It reports whether the body assigns the whole struct (`*recv = ...`).
+func collectMentions(decl *ast.FuncDecl, siblings map[string]*ast.FuncDecl, mentioned map[string]bool, visited map[*ast.FuncDecl]bool) (whole bool) {
+	if visited[decl] || decl.Body == nil {
+		return false
+	}
+	visited[decl] = true
+	if len(decl.Recv.List[0].Names) == 0 {
+		return false // unnamed receiver: the body cannot touch fields
+	}
+	recvName := decl.Recv.List[0].Names[0].Name
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+					if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && id.Name == recvName {
+						whole = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || id.Name != recvName {
+				return true
+			}
+			mentioned[n.Sel.Name] = true
+			if callee, ok := siblings[n.Sel.Name]; ok {
+				if collectMentions(callee, siblings, mentioned, visited) {
+					whole = true
+				}
+			}
+		}
+		return true
+	})
+	return whole
+}

@@ -1,0 +1,42 @@
+package resetcomplete_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit/difftest"
+	"repro/internal/analysis/resetcomplete"
+)
+
+func TestGolden(t *testing.T) {
+	difftest.Run(t, resetcomplete.Analyzer, "testdata/reset", "repro/internal/htm")
+}
+
+// TestSeededLeak replays the historical bug class — a pooled type
+// gaining a field without its reset family being extended — and proves
+// the analyzer reports the forgotten field.
+func TestSeededLeak(t *testing.T) {
+	difftest.Run(t, resetcomplete.Analyzer, "testdata/seeded", "repro/internal/htm")
+	diags := difftest.Findings(t, resetcomplete.Analyzer, "testdata/seeded", "repro/internal/htm")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "core.pred") {
+		t.Fatalf("got %v, want exactly one finding naming core.pred", diags)
+	}
+}
+
+// TestScope proves the package gate: reset completeness is only
+// enforced in the pooled-state packages.
+func TestScope(t *testing.T) {
+	diags := difftest.Findings(t, resetcomplete.Analyzer, "testdata/seeded", "repro/internal/sweep")
+	if len(diags) != 0 {
+		t.Fatalf("non-reset package: got %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestMissingReason: a reset-keep with no reason suppresses the leak
+// finding but is itself reported.
+func TestMissingReason(t *testing.T) {
+	diags := difftest.Findings(t, resetcomplete.Analyzer, "testdata/noreason", "repro/internal/htm")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Fatalf("got %v, want exactly one missing-reason report", diags)
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture: a reset-keep with no reason suppresses the leak finding but
+// is itself reported.
+package fixture
+
+type keeper struct {
+	geom int //retcon:reset-keep
+	n    int
+}
+
+func (k *keeper) Reset() { k.n = 0 }

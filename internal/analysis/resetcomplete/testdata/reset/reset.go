@@ -1,0 +1,54 @@
+// Fixture for the resetcomplete analyzer: complete resets, annotated
+// keeps, whole-struct assignment, transitive same-receiver mentions and
+// an unexported reset-family member are accepted; a forgotten field is
+// reported on its declaration line.
+package fixture
+
+type complete struct {
+	n    int
+	hits int64
+}
+
+func (c *complete) Reset() {
+	c.n = 0
+	c.hits = 0
+}
+
+type kept struct {
+	geometry int //retcon:reset-keep construction geometry, never varies across runs
+	count    int
+}
+
+func (k *kept) Reset() { k.count = 0 }
+
+type transitive struct {
+	a int
+	b int
+}
+
+func (t *transitive) ResetTo(a int) {
+	t.a = a
+	t.clear()
+}
+
+func (t *transitive) clear() { t.b = 0 }
+
+type whole struct {
+	x, y int
+}
+
+func (w *whole) Reset() { *w = whole{} }
+
+type pooled struct {
+	id   int //retcon:reset-keep identity, assigned once at construction
+	used bool
+}
+
+func (p *pooled) resetFor(n int) { p.used = n > 0 }
+
+type leaky struct {
+	buf  []int
+	seen map[int64]bool // want "field leaky.seen is never mentioned by Reset"
+}
+
+func (l *leaky) Reset() { l.buf = l.buf[:0] }

@@ -1,0 +1,17 @@
+// Seeded reconstruction of the pooled-reset leak class: a core type
+// gains a predictor field but the reset family is not extended, so a
+// reused machine carries one run's training into the next — the exact
+// rot TestResetEquivalence catches only for configurations its grid
+// happens to exercise.
+package fixture
+
+type core struct {
+	pc   int
+	regs [8]int64
+	pred map[int64]int // want "field core.pred is never mentioned by resetFor"
+}
+
+func (c *core) resetFor(pc int) {
+	c.pc = pc
+	c.regs = [8]int64{}
+}

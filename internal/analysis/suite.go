@@ -1,0 +1,22 @@
+// Package analysis assembles the retcon-lint analyzer suite: the static
+// enforcement of this repo's determinism, reset-completeness and
+// hot-path allocation contracts. See DESIGN.md "Determinism contract and
+// static enforcement" for the contract text and the annotation grammar,
+// and internal/analysis/lintkit for the framework the analyzers run on.
+package analysis
+
+import (
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nondetsource"
+	"repro/internal/analysis/resetcomplete"
+)
+
+// Suite is every analyzer cmd/retcon-lint runs, in report order.
+var Suite = []*lintkit.Analyzer{
+	maporder.Analyzer,
+	nondetsource.Analyzer,
+	resetcomplete.Analyzer,
+	hotpathalloc.Analyzer,
+}

@@ -19,9 +19,11 @@ package cache
 // counter itself is monotone across runs, so relative LRU order is
 // untouched. Individual invalidations still clear the tag explicitly.
 type Cache struct {
-	sets      int64
-	ways      int
-	tags      []int64 // sets*ways entries; -1 = explicitly invalidated
+	sets int64 //retcon:reset-keep construction geometry, never varies across runs
+	ways int   //retcon:reset-keep construction geometry, never varies across runs
+	//retcon:reset-keep tag storage; entries below the resetBase watermark are invalid
+	tags []int64 // sets*ways entries; -1 = explicitly invalidated
+	//retcon:reset-keep LRU stamps; entries below the resetBase watermark are invalid
 	lru       []int64 // last-use stamps, parallel to tags
 	stamp     int64
 	resetBase int64 // entries with lru < resetBase are invalid (pre-reset)

@@ -80,7 +80,7 @@ type TxStats struct {
 // (no sort at commit), and constraint validation is deterministic by
 // construction rather than by map-iteration-order discipline.
 type State struct {
-	Cfg Config
+	Cfg Config //retcon:reset-keep configuration, not run state; Configure rewrites it on reuse
 
 	ivb  []IVBEntry   // sorted by Block
 	ssb  []SSBEntry   // sorted by WordAddr

@@ -25,7 +25,9 @@ type Predictor struct {
 	// constraint violation before tracking is attempted again.
 	ViolationPenalty int
 
+	//retcon:reset-keep epoch-tagged storage; the Reset epoch bump vacates every slot
 	slots []predSlot
+	//retcon:reset-keep tied to len(slots), which Reset keeps
 	shift uint // 64 - log2(len(slots)): multiply-shift hash to slot index
 	live  int  // slots belonging to the current epoch
 	epoch uint64
@@ -63,6 +65,8 @@ func NewPredictor(promoteAfter, violationPenalty int) *Predictor {
 // contiguous probe runs (insertion claims the first vacant slot and
 // nothing is ever deleted within an epoch), so the probe stops at the
 // first vacant slot.
+//
+//retcon:hotpath probe under every symbolic-mode load
 func (p *Predictor) find(block int64) *predSlot {
 	mask := len(p.slots) - 1
 	for i := fibHash(block, p.shift); ; i = (i + 1) & mask {
@@ -115,6 +119,8 @@ func (p *Predictor) grow() {
 
 // Tracks reports whether loads from block should initiate symbolic
 // tracking.
+//
+//retcon:hotpath probe under every symbolic-mode load
 func (p *Predictor) Tracks(block int64) bool {
 	s := p.find(block)
 	return s != nil && s.tracking

@@ -23,6 +23,8 @@ import (
 // its latency (serial reacquire, serial stores, per §5.1's conservative
 // assumption) stalls the core afterwards in the "other" category and is
 // recorded for Table 3.
+//
+//retcon:hotpath runs at every TXCOMMIT
 func (m *Machine) commit(c *Core) {
 	if !c.Ret.Empty() {
 		m.commitRepair(c)
@@ -38,6 +40,7 @@ func (m *Machine) commit(c *Core) {
 	m.finishCommit(c, 0, m.Now-c.Tx.StartCycle+1)
 }
 
+//retcon:hotpath the pre-commit repair drain (Figure 7)
 func (m *Machine) commitRepair(c *Core) {
 	stats := c.Ret.Stats() // capture Lost flags before reacquire clears them
 
@@ -80,6 +83,7 @@ func (m *Machine) commitRepair(c *Core) {
 		c.Pred.ObserveViolation(mem.BlockOf(w))
 		if m.traceEnabled() {
 			iv, _ := c.Ret.ConstraintOn(w)
+			//lint:alloc-ok trace-gated; args box only when -trace is on
 			m.trace(c, "violate constraint %v on word %#x (value %d)", iv, w, c.Ret.RootVal(w))
 		}
 		m.abort(c, -1)
@@ -116,6 +120,7 @@ func (m *Machine) commitRepair(c *Core) {
 
 	stats.CommitCycles = repairLat
 	if m.traceEnabled() {
+		//lint:alloc-ok trace-gated; args box only when -trace is on
 		m.trace(c, "repair  %d blocks (%d lost), %d stores, %d constraints, %d cycles",
 			stats.BlocksTracked, stats.BlocksLost, stats.PrivateStores, stats.ConstraintAddrs, repairLat)
 	}
@@ -128,8 +133,11 @@ func (m *Machine) commitRepair(c *Core) {
 // finishCommit makes the transaction permanent and stalls the core for the
 // repair latency — under the event scheduler that stall is a single wake
 // event whose cycles are bulk-attributed, not stepped.
+//
+//retcon:hotpath runs at every transaction commit
 func (m *Machine) finishCommit(c *Core, repairLat, txCycles int64) {
 	if m.traceEnabled() {
+		//lint:alloc-ok trace-gated; args box only when -trace is on
 		m.trace(c, "commit  ts=%d lifetime=%d cycles", c.Tx.TS, txCycles)
 	}
 	c.PC++

@@ -14,7 +14,7 @@ import (
 
 // Core is one simulated in-order processor.
 type Core struct {
-	ID   int
+	ID   int //retcon:reset-keep identity, assigned once at construction
 	Prog *isa.Program
 	// instrs caches Prog.Instrs: instruction fetch is once per simulated
 	// cycle, and the extra indirection through Prog costs real time there.
@@ -37,8 +37,8 @@ type Core struct {
 	// nackProbe* memoize the cache-hierarchy probe of a NACKed miss so the
 	// retry skips the (unchanged) L1+L2 walk; see memAccess.
 	nackProbeValid bool
-	nackProbeBlock int64
-	nackProbeLat   int64
+	nackProbeBlock int64 //retcon:reset-keep dead while nackProbeValid is false, which resetFor clears
+	nackProbeLat   int64 //retcon:reset-keep dead while nackProbeValid is false, which resetFor clears
 
 	// attributedUntil is the last cycle this core has accounted for under
 	// the event scheduler's lazy attribution (its wake time lives in the
@@ -60,8 +60,9 @@ type Machine struct {
 
 	tsCounter      int64
 	barrierArrived int
-	targetsBuf     []int
-	traceW         io.Writer
+	//retcon:reset-keep per-request scratch; coherentRequest truncates it at every use
+	targetsBuf []int
+	traceW     io.Writer
 
 	sched      Scheduler
 	commitHook CommitObserver
@@ -90,7 +91,8 @@ type Machine struct {
 	popped []int
 	live   []*Core
 	// wheel is the large-machine wake queue, kept across runs so its slot
-	// arrays are reused (runWheel resets it in place).
+	// arrays are reused.
+	//retcon:reset-keep runWheel resets it in place on every entry
 	wheel *wakeWheel
 	// allCores holds every core ever constructed for this machine; Cores
 	// aliases its prefix, so a core-count shrink does not discard the
@@ -159,37 +161,7 @@ func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
 		if i == len(m.allCores) {
 			m.allCores = append(m.allCores, &Core{ID: i})
 		}
-		c := m.allCores[i]
-		c.Prog = progs[i]
-		c.instrs = progs[i].Instrs
-		c.PC = 0
-		c.Regs = [isa.NumRegs]int64{}
-		c.Hier = c.Hier.ResetFor(p.L1Bytes, p.L2Bytes, p.Ways, mem.BlockSize, p.L1Hit, p.L2Hit)
-		if c.Tx == nil {
-			c.Tx = htm.NewTx(specCap)
-		} else {
-			c.Tx.Reset(specCap)
-		}
-		if c.Ret == nil {
-			c.Ret = core.NewState(retCfg)
-		} else {
-			c.Ret.Configure(retCfg)
-			c.Ret.Reset()
-		}
-		if c.Pred == nil {
-			c.Pred = htm.NewPredictor(p.PromoteAfter, p.ViolationPenalty)
-		} else {
-			c.Pred.ResetTo(p.PromoteAfter, p.ViolationPenalty)
-		}
-		c.pendingTS = 0
-		c.nackProbeValid = false
-		c.halted = false
-		c.barrierWait = false
-		c.stallUntil = 0
-		c.stallCat = CatBusy
-		c.attributedUntil = 0
-		c.Stats = CoreStats{}
-		c.RetAgg = RetconAgg{}
+		m.allCores[i].resetFor(progs[i], specCap, retCfg, p)
 	}
 	m.Cores = m.allCores[:p.Cores]
 	if cap(m.wakes) < p.Cores {
@@ -213,6 +185,47 @@ func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
 	m.execID = 0
 	m.syncDirty = false
 	return nil
+}
+
+// resetFor scrubs one core for a fresh run under the given
+// configuration, reusing its cache, undo-log, spec-set, RETCON and
+// predictor allocations wherever the geometry allows. It exists as a
+// method (rather than inline in Machine.Reset) so the resetcomplete
+// analyzer statically proves every Core field is handled: a field added
+// to Core and forgotten here is a compile-time lint finding, not a
+// latent pooled-machine leak waiting for TestResetEquivalence to
+// stumble over it.
+func (c *Core) resetFor(prog *isa.Program, specCap int, retCfg core.Config, p Params) {
+	c.Prog = prog
+	c.instrs = prog.Instrs
+	c.PC = 0
+	c.Regs = [isa.NumRegs]int64{}
+	c.Hier = c.Hier.ResetFor(p.L1Bytes, p.L2Bytes, p.Ways, mem.BlockSize, p.L1Hit, p.L2Hit)
+	if c.Tx == nil {
+		c.Tx = htm.NewTx(specCap)
+	} else {
+		c.Tx.Reset(specCap)
+	}
+	if c.Ret == nil {
+		c.Ret = core.NewState(retCfg)
+	} else {
+		c.Ret.Configure(retCfg)
+		c.Ret.Reset()
+	}
+	if c.Pred == nil {
+		c.Pred = htm.NewPredictor(p.PromoteAfter, p.ViolationPenalty)
+	} else {
+		c.Pred.ResetTo(p.PromoteAfter, p.ViolationPenalty)
+	}
+	c.pendingTS = 0
+	c.nackProbeValid = false
+	c.halted = false
+	c.barrierWait = false
+	c.stallUntil = 0
+	c.stallCat = CatBusy
+	c.attributedUntil = 0
+	c.Stats = CoreStats{}
+	c.RetAgg = RetconAgg{}
 }
 
 // SetScheduler replaces the cycle-loop scheduler selected by P.Sched —
@@ -302,6 +315,8 @@ func (m *Machine) pcs() []int {
 }
 
 // Step advances the machine by one lockstep cycle.
+//
+//retcon:hotpath lockstep per-cycle loop; see TestAllocsPerCycleRegression
 func (m *Machine) Step() {
 	m.Now++
 	for _, c := range m.Cores {
@@ -312,6 +327,7 @@ func (m *Machine) Step() {
 	}
 }
 
+//retcon:hotpath per-core dispatch inside every lockstep cycle
 func (m *Machine) stepCore(c *Core) {
 	switch {
 	case c.halted:
@@ -366,6 +382,8 @@ func (c *Core) addCycle(cat Category) { c.chargeCycles(cat, 1) }
 // other time inside transactions for reattribution on abort — the bulk
 // form shared by per-cycle attribution, lazy settling, and the dense
 // loop's idle-span skip.
+//
+//retcon:hotpath cycle attribution; called once per core per visited cycle
 func (c *Core) chargeCycles(cat Category, n int64) {
 	c.Stats.Cycles[cat] += n
 	if c.Tx.Active {

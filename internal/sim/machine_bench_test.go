@@ -100,6 +100,17 @@ func BenchmarkMachineReset(b *testing.B) {
 // The counter workload is used because its timing is value-independent:
 // re-running on the mutated image is deterministic, so the bundle build
 // can stay outside the measured closure.
+//
+// The static twin of this test is the hotpathalloc analyzer (run by
+// cmd/retcon-lint / make lint): the functions this budget exercises carry
+// //retcon:hotpath annotations — runScan, runWheel, runDense, settle
+// (sched.go), Step, stepCore, chargeCycles (machine.go), memAccess,
+// coherentRequest (memory.go), commit, commitRepair, finishCommit
+// (commit.go) and Predictor.Tracks/find (htm/predictor.go) — so an
+// allocation reintroduced into any of them is named at lint time, and
+// this test catches whatever slips past the static rules (indirect
+// calls, growth in un-annotated callees). Keep the two sets in sync:
+// annotate a function when its allocations would land in this budget.
 func TestAllocsPerCycleRegression(t *testing.T) {
 	for _, tc := range []struct {
 		wl     string

@@ -26,6 +26,8 @@ const (
 //
 // It returns the directory latency and the outcome. On accessOK all remote
 // state (invalidations, symbolic losses, aborts of losers) has been applied.
+//
+//retcon:hotpath directory access under every cache miss or upgrade
 func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool) (int64, accessStatus) {
 	// Collect the cores holding copies that conflict with this request.
 	m.targetsBuf = m.targetsBuf[:0]
@@ -63,6 +65,7 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 		if allowNack {
 			c.Stats.Nacks++
 			if m.traceEnabled() {
+				//lint:alloc-ok trace-gated; args box only when -trace is on
 				m.trace(c, "nack    block %#x held by core %d (older)", block, h)
 			}
 			return 0, accessNack
@@ -78,6 +81,7 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 		if hc.Tx.Active && hc.Ret.Tracked(block) != nil {
 			if isWrite {
 				if hc.Ret.MarkLost(block) && m.traceEnabled() {
+					//lint:alloc-ok trace-gated; args box only when -trace is on
 					m.trace(hc, "release block %#x stolen by core %d (symbolic, no conflict)", block, c.ID)
 				}
 			}
@@ -121,6 +125,8 @@ func olderWins(c, h *Core) bool {
 // that hit are never memoized (their LRU-stamp updates are architectural
 // input to later victim choices); a skipped miss-probe touches no LRU
 // state, so replaying it is unobservable.
+//
+//retcon:hotpath every load and store funnels through here
 func (m *Machine) memAccess(c *Core, block int64, isWrite, setSpec, allowNack bool) (int64, accessStatus) {
 	var hlat int64
 	missToDir := true

@@ -210,6 +210,8 @@ func (eventSched) Run(m *Machine) error {
 // as lockstep's per-cycle attribution would). It returns done=true when
 // every core has halted, done=false when exec density falls below the exit
 // threshold and the caller should resume an event loop.
+//
+//retcon:hotpath per-cycle inner loop; see TestAllocsPerCycleRegression
 func (m *Machine) runDense() (done bool, err error) {
 	live := m.live[:0]
 	defer func() { m.live = live }()
@@ -309,6 +311,8 @@ func (m *Machine) runDense() (done bool, err error) {
 // can be entered both at the start of a run and after a dense phase (cores
 // may then be mid-stall or parked at a barrier). It returns done=true when
 // every core has halted, done=false to hand a dense phase to runDense.
+//
+//retcon:hotpath per-cycle event loop; see TestAllocsPerCycleRegression
 func (m *Machine) runScan() (done bool, err error) {
 	halted := 0
 	n := len(m.Cores)
@@ -468,6 +472,8 @@ func (m *Machine) runScan() (done bool, err error) {
 // state alone, so the loop can be entered mid-run after a dense phase, and
 // the return contract is the same: done=true when every core has halted,
 // done=false to hand a dense phase to runDense.
+//
+//retcon:hotpath per-cycle event loop; see TestAllocsPerCycleRegression
 func (m *Machine) runWheel() (done bool, err error) {
 	halted := 0
 	wheel := m.wheel
@@ -792,6 +798,8 @@ func mergeByID(dst, a, b []int) []int {
 // busy/other accumulators that abort reattribution depends on. It is a
 // no-op outside the event scheduler (attributedUntil is maintained only
 // under lazy attribution) and on fully-settled cores.
+//
+//retcon:hotpath runs at every lazy-attribution observation point
 func (m *Machine) settle(c *Core, upTo int64) {
 	n := upTo - c.attributedUntil
 	if n <= 0 {

@@ -120,6 +120,8 @@ func (r *Result) Breakdown() [NumCategories]float64 {
 	if total == 0 {
 		return out
 	}
+	// Ranging over the fixed-size array, not a map: index order 0..N-1 is
+	// deterministic (maporder has nothing to say here).
 	for k := range out {
 		out[k] = float64(t.Cycles[k]) / float64(total)
 	}

@@ -32,6 +32,9 @@ func Dispatch[T any](n, workers int, fn func(int) T) (get func(int) T, wait func
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// Each item i is a pure function of i and results are consumed in
+		// caller-chosen deterministic order via get(i).
+		//lint:nondet-safe bounded worker pool computing pure per-index results
 		go func() {
 			defer wg.Done()
 			for i := range next {
@@ -40,6 +43,7 @@ func Dispatch[T any](n, workers int, fn func(int) T) (get func(int) T, wait func
 			}
 		}()
 	}
+	//lint:nondet-safe feeder goroutine; emits indices in fixed 0..n-1 order
 	go func() {
 		for i := 0; i < n; i++ {
 			next <- i

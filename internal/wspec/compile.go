@@ -54,6 +54,7 @@ func (w *Workload) Spec() *Spec { return w.spec }
 // the compile-time overrides).
 func (w *Workload) Params() map[string]float64 {
 	out := make(map[string]float64, len(w.rs.params))
+	//lint:maporder-safe commutative copy into a fresh map; no order-dependent effect
 	for k, v := range w.rs.params {
 		out[k] = v
 	}

@@ -137,6 +137,8 @@ type rspec struct {
 // overrides of undeclared knobs.
 func resolveParams(s *Spec, overrides map[string]float64) (map[string]float64, error) {
 	params := make(map[string]float64, len(s.Params))
+	// The early exit fires on the empty key, of which a map holds at most one.
+	//lint:maporder-safe commutative copy into a fresh map
 	for k, v := range s.Params {
 		if k == "" {
 			return nil, fmt.Errorf("empty parameter name")
@@ -155,8 +157,15 @@ func resolveParams(s *Spec, overrides map[string]float64) (map[string]float64, e
 		}
 		params[k] = overrides[k]
 	}
-	for k, v := range params {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+	// Sorted so a spec with several non-finite parameters reports the
+	// same one every run (retcon-lint: maporder).
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if v := params[k]; math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("parameter %q is not finite", k)
 		}
 	}
