@@ -29,10 +29,17 @@
 #                    hypothesis lab)
 #   make lab-record  re-run every hypothesis and rewrite the recorded
 #                    FINDINGS.md documents (after an intentional change)
+#   make chaos-smoke fault-injection proof of the resilience layer: a
+#                    48-run grid with injected panics, hangs and
+#                    transient failures completes with exactly the
+#                    injected runs failed, byte-identical across worker
+#                    counts, and a killed-and-resumed sweep reproduces
+#                    the uninterrupted output byte for byte — under the
+#                    race detector (the CI gate for fault isolation)
 
 GO ?= go
 
-.PHONY: build vet lint test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record
+.PHONY: build vet lint test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -55,7 +62,7 @@ test-short: build
 race: build
 	$(GO) test -race ./...
 
-ci: vet lint test wload-smoke lab-smoke
+ci: vet lint test wload-smoke lab-smoke chaos-smoke
 
 # Declarative-workload smoke: every spec in the preset library must
 # validate, compile, run under eager/lazy-vb/RetCon and pass its declared
@@ -73,6 +80,15 @@ lab-smoke: build
 
 lab-record: build
 	$(GO) run ./cmd/retcon-lab run -record examples/hypotheses
+
+# Chaos smoke: internal/chaos injects deterministic faults (worker
+# panic, scheduler panic mid-run, hard hang past the deadline,
+# transient-then-success, corrupted result) into real sweep grids and
+# proves fault isolation, quarantine, retry and kill-and-resume
+# byte-identity — with -race, because the abandon path is the one place
+# the engine runs concurrent with a simulating machine.
+chaos-smoke: build
+	$(GO) test -race -count=1 ./internal/chaos/
 
 # The simulator's own perf trajectory: lockstep vs event-driven scheduler
 # wall-clock on stall-heavy configurations, recorded at the repo root so

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	retcon "repro"
 	"repro/internal/lab"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -58,7 +60,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   retcon-lab validate <file-or-dir>...
-  retcon-lab run [-workers N] [-sched event|lockstep] [-out PATH|-] [-record] [-check] <file-or-dir>...
+  retcon-lab run [-workers N] [-sched event|lockstep] [-out PATH|-] [-record] [-check]
+                 [-journal FILE [-resume]] [-run-deadline D] [-retries N] [-retry-seed S]
+                 <file-or-dir>...
   retcon-lab vars`)
 }
 
@@ -121,6 +125,11 @@ func cmdRun(args []string) {
 	outPath := fs.String("out", "", "write FINDINGS.md here ('-' = stdout); single hypothesis only")
 	record := fs.Bool("record", false, "write FINDINGS.md to <specdir>/<name>/FINDINGS.md")
 	check := fs.Bool("check", false, "fail unless the recorded FINDINGS.md matches byte for byte")
+	runDeadline := fs.Duration("run-deadline", 0, "per-run wall-clock deadline; a run exceeding it is abandoned and reported as an infra anomaly (0 = off)")
+	retries := fs.Int("retries", 0, "retry possibly-transient run failures up to N times (watchdog trips and oracle divergences never retry)")
+	retrySeed := fs.Int64("retry-seed", 0, "seed for the deterministic retry-backoff jitter")
+	journalPath := fs.String("journal", "", "append completed runs to this JSONL journal (crash-safe; enables -resume)")
+	resume := fs.Bool("resume", false, "replay outcomes already recorded in -journal instead of re-running them")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -131,14 +140,54 @@ func cmdRun(args []string) {
 	if *outPath != "" && len(files) != 1 {
 		fail(fmt.Errorf("-out takes exactly one hypothesis (got %d)", len(files)))
 	}
+	if *resume && *journalPath == "" {
+		fail(fmt.Errorf("-resume requires -journal"))
+	}
 
-	opt := lab.Options{Workers: *workers}
+	opt := lab.Options{
+		Workers:   *workers,
+		Deadline:  *runDeadline,
+		Retries:   *retries,
+		RetrySeed: *retrySeed,
+	}
 	if *schedStr != "" {
 		k, err := sim.ParseSched(*schedStr)
 		if err != nil {
 			fail(err)
 		}
 		opt.Sched = &k
+	}
+	var journal *sweep.Journal
+	if *journalPath != "" {
+		journal, err = sweep.OpenJournal(*journalPath, *resume)
+		if err != nil {
+			fail(err)
+		}
+		opt.Journal = journal
+	}
+
+	// Graceful SIGINT: the first ^C checkpoints — in-flight grid runs
+	// drain into the journal, lab.Run returns an error instead of judging
+	// a partial grid, and the process exits 130 with a resume hint. A
+	// second ^C kills immediately.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "retcon-lab: interrupt — draining in-flight runs and checkpointing (^C again to kill)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+	opt.Stop = stop
+	wasStopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
 	}
 
 	for _, path := range files {
@@ -149,6 +198,15 @@ func cmdRun(args []string) {
 		start := time.Now()
 		rep, err := lab.Run(h, opt)
 		if err != nil {
+			if wasStopped() {
+				if journal != nil {
+					journal.Close()
+					fmt.Fprintf(os.Stderr, "retcon-lab: %v\nretcon-lab: re-run with -journal %s -resume to continue\n", err, *journalPath)
+				} else {
+					fmt.Fprintf(os.Stderr, "retcon-lab: %v\nretcon-lab: re-run with -journal FILE to make runs resumable\n", err)
+				}
+				os.Exit(130)
+			}
 			fail(fmt.Errorf("%s: %w", path, err))
 		}
 		doc := lab.Render(rep)
@@ -181,6 +239,11 @@ func cmdRun(args []string) {
 			fmt.Printf("out  %-40s %-12s (%s) -> %s\n", path, rep.Verdict, elapsed, *outPath)
 		default:
 			os.Stdout.Write(doc)
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fail(err)
 		}
 	}
 }

@@ -8,18 +8,27 @@
 //	retcon-sweep -preset paper -jsonl paper.jsonl      # the full Figure 9 grid
 //	retcon-sweep -spec examples/sweeps/modes.json -csv out.csv
 //	retcon-sweep -workloads genome,python_opt -modes all -cores 4,8 -seeds 1,2
+//	retcon-sweep -spec big.json -journal runs.jsonl    # crash-safe journal
+//	retcon-sweep -spec big.json -journal runs.jsonl -resume
 //	retcon-sweep -list                                 # workloads and presets
 //
 // Quick flags refine the selected preset (or an empty spec): a flag that
 // is set replaces the corresponding axis. -baseline adds the 1-core eager
 // run per (workload, seed) and reports speedups. Identical configurations
 // across the whole sweep are simulated once.
+//
+// Resilience: -run-deadline abandons hung runs, -retries re-attempts
+// possibly-transient failures deterministically, and -journal records
+// every completed run to a crash-safe JSONL file so an interrupted sweep
+// (^C checkpoints and exits 130) continues with -resume — the resumed
+// output is byte-identical to an uninterrupted sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +52,11 @@ func main() {
 	table := flag.Bool("table", true, "print the text table to stdout")
 	list := flag.Bool("list", false, "list workloads and presets, then exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registry names and descriptions (including spec-registered entries), then exit")
+	runDeadline := flag.Duration("run-deadline", 0, "per-run wall-clock deadline; a run exceeding it is abandoned and reported as failed (0 = off)")
+	retries := flag.Int("retries", 0, "retry possibly-transient run failures up to N times (watchdog trips and oracle divergences never retry)")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for the deterministic retry-backoff jitter")
+	journalPath := flag.String("journal", "", "append completed runs to this JSONL journal (crash-safe; enables -resume)")
+	resume := flag.Bool("resume", false, "replay outcomes already recorded in -journal instead of re-running them")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -80,7 +94,40 @@ func main() {
 		fail(fmt.Errorf("spec expands to zero runs"))
 	}
 
-	eng := sweep.Engine{Workers: *workers}
+	if *resume && *journalPath == "" {
+		fail(fmt.Errorf("-resume requires -journal"))
+	}
+	var journal *sweep.Journal
+	if *journalPath != "" {
+		journal, err = sweep.OpenJournal(*journalPath, *resume)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	// Graceful SIGINT: the first ^C closes the engine's stop channel —
+	// in-flight runs drain and are journaled, runs not yet started are
+	// skipped — and the process exits 130 with a resume hint. A second ^C
+	// kills immediately.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "retcon-sweep: interrupt — draining in-flight runs and checkpointing (^C again to kill)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+
+	eng := sweep.Engine{
+		Workers:   *workers,
+		Deadline:  *runDeadline,
+		Retries:   *retries,
+		RetrySeed: *retrySeed,
+		Journal:   journal,
+		Stop:      stop,
+	}
 	start := time.Now()
 
 	// Baselines go first in the SAME ExecuteStream call as the grid: the
@@ -119,15 +166,25 @@ func main() {
 	// partial JSONL/CSV on disk even if interrupted.
 	var recs []sweep.Record
 	var runErr, sinkErr error
+	interrupted := false
 	pos := 0
 	eng.ExecuteStream(combined, func(o sweep.Outcome) {
 		i := pos
 		pos++
-		if o.Err != nil && runErr == nil {
+		if sweep.Classify(o.Err) == sweep.FailInterrupted {
+			// A checkpointed run never executed: stop writing records so
+			// the partial output files stay a clean prefix of what the
+			// resumed sweep will produce.
+			interrupted = true
+		}
+		if o.Err != nil && runErr == nil && !interrupted {
 			runErr = o.Err
 		}
 		if i < len(baselines) {
 			baseIx.Add(o)
+			return
+		}
+		if interrupted {
 			return
 		}
 		rec := o.Record()
@@ -161,8 +218,24 @@ func main() {
 			sinkErr = err
 		}
 	}
+	if journal != nil {
+		if hits := journal.Hits(); hits > 0 {
+			fmt.Fprintf(os.Stderr, "retcon-sweep: replayed %d journaled runs\n", hits)
+		}
+		if err := journal.Close(); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
 	if sinkErr != nil {
 		fail(sinkErr)
+	}
+	if interrupted {
+		if *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "retcon-sweep: interrupted; completed runs are journaled — re-run with -journal %s -resume to continue\n", *journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "retcon-sweep: interrupted; re-run with -journal FILE to make sweeps resumable")
+		}
+		os.Exit(130)
 	}
 
 	if *table {

@@ -12,6 +12,7 @@ import (
 //
 //	//lint:maporder-safe <reason>   on (or directly above) a range stmt
 //	//lint:nondet-safe   <reason>   on (or directly above) the flagged stmt
+//	//lint:recover-ok    <reason>   on (or directly above) a recover() call
 //	//lint:alloc-ok      <reason>   on (or directly above) the flagged expr
 //
 // Contract markers use the //retcon: namespace:

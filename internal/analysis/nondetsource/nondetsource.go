@@ -1,6 +1,7 @@
 // Package nondetsource flags reads of nondeterministic inputs inside
-// the deterministic packages: wall-clock time, the process environment,
-// the unseeded global math/rand generator, and goroutine launches.
+// the deterministic packages: wall-clock time (reads and timers), the
+// process environment, the unseeded global math/rand generator,
+// goroutine launches, and recover().
 // Everything between a workload spec and the bytes of a Result must be
 // a pure function of (spec, params, seed); any of these sources makes
 // two runs of the same configuration observable as different — exactly
@@ -11,7 +12,19 @@
 // Result-producing path invites completion-order dependence; the sweep
 // engine's bounded worker pool is the sanctioned exception (results are
 // reassembled in deterministic run order) and is annotated
-// //lint:nondet-safe with that justification.
+// //lint:nondet-safe with that justification. Timer constructors
+// (time.Sleep, time.After, time.NewTimer, ...) are banned alongside
+// time.Now because a wall-clock race deciding control flow is the same
+// bug as a wall-clock value reaching a Result; the sweep engine's
+// deadline and retry-backoff sites carry //lint:nondet-safe reasons
+// explaining why elapsed time cannot reach a Result there.
+//
+// recover() gets its own rule with its own key: a bare recover that
+// swallows a panic turns a crash into a silently wrong grid — worse
+// than nondeterminism. Every recover in a deterministic package must be
+// annotated //lint:recover-ok <reason>, naming the isolation boundary
+// it implements (the engine's safeCall is the sanctioned one: panics
+// become structured FailPanic outcome errors, never nil results).
 package nondetsource
 
 import (
@@ -24,8 +37,9 @@ import (
 // Analyzer is the nondetsource check.
 var Analyzer = &lintkit.Analyzer{
 	Name: "nondetsource",
-	Doc: "flags time.Now, os.Getenv, unseeded math/rand and goroutine launches " +
-		"in deterministic packages unless annotated //lint:nondet-safe <reason>",
+	Doc: "flags time.Now, timers, os.Getenv, unseeded math/rand and goroutine launches " +
+		"in deterministic packages unless annotated //lint:nondet-safe <reason>, " +
+		"and recover() unless annotated //lint:recover-ok <reason>",
 	Run: run,
 }
 
@@ -34,9 +48,15 @@ var Analyzer = &lintkit.Analyzer{
 // banned: methods on an explicitly seeded *rand.Rand are fine.
 var bannedFuncs = map[string]map[string]string{
 	"time": {
-		"Now":   "reads the wall clock",
-		"Since": "reads the wall clock",
-		"Until": "reads the wall clock",
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"Sleep":     "blocks on the wall clock",
+		"After":     "starts a wall-clock timer",
+		"Tick":      "starts a wall-clock ticker",
+		"NewTimer":  "starts a wall-clock timer",
+		"NewTicker": "starts a wall-clock ticker",
+		"AfterFunc": "starts a wall-clock timer",
 	},
 	"os": {
 		"Getenv":    "reads the process environment",
@@ -66,6 +86,13 @@ func run(pass *lintkit.Pass) error {
 						"goroutine launch in deterministic package: completion order must not reach the Result; annotate //lint:nondet-safe <reason> if it cannot")
 				}
 			case *ast.CallExpr:
+				if isRecover(pass.TypesInfo, n) {
+					if !pass.Suppressed(n.Pos(), "recover-ok") {
+						pass.Reportf(n.Pos(),
+							"recover() in deterministic package: a swallowed panic turns a crash into a silently wrong Result; annotate //lint:recover-ok <reason> naming the isolation boundary")
+					}
+					return true
+				}
 				fn := calleeFunc(pass.TypesInfo, n)
 				if fn == nil || fn.Pkg() == nil {
 					return true
@@ -93,6 +120,17 @@ func run(pass *lintkit.Pass) error {
 		})
 	}
 	return nil
+}
+
+// isRecover reports whether the call invokes the recover builtin (not a
+// function or method that merely shares the name).
+func isRecover(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "recover"
 }
 
 // calleeFunc resolves a call's callee to its types.Func, or nil.

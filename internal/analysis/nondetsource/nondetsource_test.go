@@ -15,8 +15,8 @@ func TestGolden(t *testing.T) {
 // all — the fixture would sail through if the analyzer were disabled.
 func TestCaught(t *testing.T) {
 	diags := difftest.Findings(t, nondetsource.Analyzer, "testdata/det", "repro/internal/sweep")
-	if len(diags) != 4 {
-		t.Fatalf("got %d findings, want 4 (clock, env, rand, goroutine): %v", len(diags), diags)
+	if len(diags) != 8 {
+		t.Fatalf("got %d findings, want 8 (clock, env, rand, goroutine, sleep, 2 timers, recover): %v", len(diags), diags)
 	}
 }
 

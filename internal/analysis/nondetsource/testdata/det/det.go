@@ -1,7 +1,7 @@
-// Fixture for the nondetsource analyzer: wall clock, environment,
-// unseeded global rand and goroutine launches are flagged; explicitly
-// seeded generators, methods that merely share a banned name, and
-// justified goroutines are not.
+// Fixture for the nondetsource analyzer: wall clock, timers,
+// environment, unseeded global rand, goroutine launches and bare
+// recover() are flagged; explicitly seeded generators, methods that
+// merely share a banned name, and justified annotated sites are not.
 package fixture
 
 import (
@@ -42,4 +42,47 @@ func (clock) Now() int { return 0 }
 
 func methodNow(c clock) int {
 	return c.Now()
+}
+
+func sleeper() {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks on the wall clock"
+}
+
+func timers() {
+	<-time.After(time.Millisecond)  // want "time.After starts a wall-clock timer"
+	t := time.NewTimer(time.Second) // want "time.NewTimer starts a wall-clock timer"
+	t.Stop()
+}
+
+func annotatedTimer() {
+	//lint:nondet-safe deadline timer whose expiry never reaches a Result
+	t := time.NewTimer(time.Second)
+	t.Stop()
+}
+
+func swallow() (err error) {
+	defer func() {
+		if p := recover(); p != nil { // want "recover\\(\\) in deterministic package"
+			err = nil
+		}
+	}()
+	return nil
+}
+
+func isolationBoundary() (err error) {
+	defer func() {
+		//lint:recover-ok fixture stand-in for the engine's panic-isolation boundary
+		if p := recover(); p != nil {
+			_ = p
+		}
+	}()
+	return nil
+}
+
+type guard struct{}
+
+func (guard) recover() int { return 0 }
+
+func methodRecover(g guard) int {
+	return g.recover()
 }

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -37,6 +38,21 @@ type Options struct {
 	// Runner substitutes the per-run executor (tests); nil means the
 	// simulator.
 	Runner sweep.RunFunc
+	// Deadline, Retries and RetrySeed mirror the sweep engine's
+	// resilience knobs (see sweep.Engine): per-run wall-clock abandons
+	// and deterministic retry of possibly-transient failures.
+	Deadline  time.Duration
+	Retries   int
+	RetrySeed int64
+	// Journal, when non-nil, memoizes run outcomes across invocations —
+	// the mechanism behind retcon-lab's -resume. A resumed run replays
+	// journaled outcomes and produces the byte-identical FINDINGS.md an
+	// uninterrupted run would have.
+	Journal *sweep.Journal
+	// Stop, when non-nil, checkpoints the run once closed: in-flight
+	// simulations drain and are journaled, and Run returns an error
+	// instead of judging a partial grid.
+	Stop <-chan struct{}
 }
 
 // Arm is one side of a paired cell: the per-seed metric values in seed
@@ -137,8 +153,25 @@ func Run(h *Hypothesis, opt Options) (*Report, error) {
 	combined = append(combined, grid...)
 	combined = append(combined, oracle...)
 
-	eng := sweep.Engine{Workers: opt.Workers, Runner: opt.Runner}
+	eng := sweep.Engine{
+		Workers:   opt.Workers,
+		Runner:    opt.Runner,
+		Deadline:  opt.Deadline,
+		Retries:   opt.Retries,
+		RetrySeed: opt.RetrySeed,
+		Journal:   opt.Journal,
+		Stop:      opt.Stop,
+	}
 	outs := eng.Execute(combined)
+
+	// A checkpointed (interrupted) run must not be judged: some outcomes
+	// never executed. Everything that DID run is in the journal, so the
+	// caller resumes with it and gets the uninterrupted document.
+	for _, o := range outs {
+		if sweep.Classify(o.Err) == sweep.FailInterrupted {
+			return nil, fmt.Errorf("lab: %s: interrupted before the grid completed; re-run with the same journal to resume", h.Name)
+		}
+	}
 
 	bix := sweep.NewBaselineIndex(outs[:len(baselines)])
 	gouts := outs[len(baselines) : len(baselines)+len(grid)]
@@ -162,12 +195,8 @@ func Run(h *Hypothesis, opt Options) (*Report, error) {
 	}
 	for i, o := range gouts {
 		if o.Err != nil {
-			kind := "run failed"
-			if strings.Contains(o.Err.Error(), "watchdog") {
-				kind = "watchdog trip"
-			}
 			rep.Infra = append(rep.Infra, fmt.Sprintf("%s in %s seed %d: %v",
-				kind, armLabel(o.Run), o.Run.Seed, o.Err))
+				failLabel(o.Err), armLabel(o.Run), o.Run.Seed, o.Err))
 			continue
 		}
 		if rs.oracle {
@@ -267,6 +296,23 @@ func totalsCommits(res *sim.Result) int64 {
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// failLabel names a failed run's anomaly by its structured failure kind
+// (sweep.Classify) — the lab's anomaly policy consumes the engine's
+// classification instead of sniffing message substrings.
+func failLabel(err error) string {
+	switch sweep.Classify(err) {
+	case sweep.FailWatchdog:
+		return "watchdog trip"
+	case sweep.FailPanic:
+		return "panic"
+	case sweep.FailDeadline:
+		return "deadline abandon"
+	case sweep.FailOracle:
+		return "oracle violation"
+	}
+	return "run failed"
+}
 
 // armLabel renders one run's cell identity the way findings quote it:
 // workload (shortened to its base name for "spec:" references, so the

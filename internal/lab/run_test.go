@@ -75,7 +75,10 @@ func TestRunRefuted(t *testing.T) {
 func TestRunWatchdogTrip(t *testing.T) {
 	rep := runMinimal(t, nil, func(r sweep.Run) (*sim.Result, error) {
 		if r.Params.Mode == sim.RetCon && r.Seed == 2 {
-			return nil, fmt.Errorf("sim: watchdog expired after %d cycles", 1000)
+			// The structured watchdog error, wrapped the way the runner
+			// wraps it: classification must survive %w wrapping.
+			return nil, fmt.Errorf("sweep: %s: %w", r.Workload,
+				&sim.WatchdogError{Cycles: 1000, PCs: []int{3, 7}})
 		}
 		return fakeRes(100+r.Seed, 1), nil
 	})

@@ -1,0 +1,106 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func counterMachine(t *testing.T, mutate func(*sim.Params)) *sim.Machine {
+	t.Helper()
+	w, err := workloads.Lookup("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.DefaultParams()
+	p.Cores = 2
+	if mutate != nil {
+		mutate(&p)
+	}
+	b := w.Build(p.Cores, 1)
+	m, err := sim.New(p, b.Mem, b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWatchdogErrorStructured: a watchdog trip surfaces as a machine-
+// parseable *WatchdogError carrying the exact expiry cycle and one
+// program counter per core — and renders the identical message under
+// either scheduler, preserving the byte-determinism contract.
+func TestWatchdogErrorStructured(t *testing.T) {
+	var msgs []string
+	for _, k := range []sim.SchedKind{sim.SchedEvent, sim.SchedLockstep} {
+		kk := k
+		m := counterMachine(t, func(p *sim.Params) {
+			p.MaxCycles = 50 // counter needs tens of thousands of cycles
+			p.Sched = kk
+		})
+		_, err := m.Run()
+		var we *sim.WatchdogError
+		if !errors.As(err, &we) {
+			t.Fatalf("%v: err = %v, want *WatchdogError", k, err)
+		}
+		if we.Cycles != 50 {
+			t.Errorf("%v: Cycles = %d, want exactly MaxCycles", k, we.Cycles)
+		}
+		if len(we.PCs) != 2 {
+			t.Errorf("%v: PCs = %v, want one per core", k, we.PCs)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("watchdog message differs across schedulers:\n%s\n%s", msgs[0], msgs[1])
+	}
+}
+
+// TestInterruptBeforeRun: a pre-set interrupt fails the run immediately
+// with *InterruptedError, and Reset clears the flag so a pooled machine
+// never carries an interrupt into its next run.
+func TestInterruptBeforeRun(t *testing.T) {
+	for _, k := range []sim.SchedKind{sim.SchedEvent, sim.SchedLockstep} {
+		kk := k
+		m := counterMachine(t, func(p *sim.Params) { p.Sched = kk })
+		m.Interrupt()
+		_, err := m.Run()
+		var ie *sim.InterruptedError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%v: err = %v, want *InterruptedError", k, err)
+		}
+
+		// Reset scrubs the flag: the machine's next run is untouched.
+		w, _ := workloads.Lookup("counter")
+		p := sim.DefaultParams()
+		p.Cores = 2
+		p.Sched = kk
+		b := w.Build(2, 1)
+		if err := m.Reset(p, b.Mem, b.Programs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%v: run after Reset failed: %v", k, err)
+		}
+	}
+}
+
+// TestInterruptMidRun: an interrupt raised while the machine is running
+// (here from a commit observer, standing in for another goroutine) is
+// honored at the next polling boundary.
+func TestInterruptMidRun(t *testing.T) {
+	m := counterMachine(t, nil)
+	m.OnCommit(func(mm *sim.Machine, _ *sim.Core) error {
+		mm.Interrupt()
+		return nil
+	})
+	_, err := m.Run()
+	var ie *sim.InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InterruptedError", err)
+	}
+	if ie.Cycles <= 0 {
+		t.Errorf("interrupt honored at cycle %d, want mid-run (> 0)", ie.Cycles)
+	}
+}

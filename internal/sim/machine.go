@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -102,6 +103,12 @@ type Machine struct {
 	// barrier-release condition (a BARRIER arrival or a HALT); the release
 	// check runs only on such cycles instead of every cycle.
 	syncDirty bool
+	// interrupted is the cooperative-interrupt flag: Interrupt (callable
+	// from any goroutine — the one concession to cross-goroutine state in
+	// this otherwise single-goroutine machine) sets it, and the schedulers
+	// poll it at their existing window boundaries, far off the per-cycle
+	// hot path. See Interrupt.
+	interrupted atomic.Bool
 }
 
 // New builds a machine running the given per-core programs over the given
@@ -184,8 +191,21 @@ func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
 	m.lazyAttr = false
 	m.execID = 0
 	m.syncDirty = false
+	m.interrupted.Store(false)
 	return nil
 }
+
+// Interrupt requests a cooperative abort of the current (or next) Run.
+// It is the ONLY Machine method that is safe to call from another
+// goroutine: it sets an atomic flag that the schedulers poll at their
+// window boundaries (every <= denseWindow visited cycles), so a live
+// machine unwinds within microseconds and Run returns an
+// *InterruptedError. A hard hang inside a single instruction (a blocked
+// commit observer, a buggy custom scheduler) is not interruptible — the
+// caller's wall-clock deadline must write the goroutine off instead.
+// Reset clears the flag, so a pooled machine never carries an interrupt
+// into its next run.
+func (m *Machine) Interrupt() { m.interrupted.Store(true) }
 
 // resetFor scrubs one core for a fresh run under the given
 // configuration, reusing its cache, undo-log, spec-set, RETCON and
@@ -294,8 +314,18 @@ func mergeAgg(dst, src *RetconAgg) {
 }
 
 func (m *Machine) watchdogErr() error {
-	return fmt.Errorf("sim: watchdog expired after %d cycles (pc=%v)", m.Now, m.pcs())
+	return &WatchdogError{Cycles: m.Now, PCs: m.pcs()}
 }
+
+func (m *Machine) interruptedErr() error {
+	return &InterruptedError{Cycles: m.Now}
+}
+
+// AllHalted reports whether every core has halted — the schedulers' run
+// termination condition, exported so custom Scheduler implementations
+// (internal/chaos's mid-run fault schedulers drive the lockstep Step
+// loop themselves) can use it.
+func (m *Machine) AllHalted() bool { return m.allHalted() }
 
 func (m *Machine) allHalted() bool {
 	for _, c := range m.Cores {

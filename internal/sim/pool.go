@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -18,8 +19,17 @@ import (
 // for every run.
 //
 // The zero value is ready to use.
+//
+// Quarantine rule: only a machine whose run fully succeeded may be Put
+// back. A machine that hosted a failed, panicked or abandoned run must go
+// through Discard instead — its internal state is off the reset-tested
+// path (a panic can leave any invariant broken mid-update), so it is
+// dropped for the GC rather than recycled. The puts/discards counters
+// exist so tests can prove the rule holds.
 type MachinePool struct {
-	pool sync.Pool
+	pool     sync.Pool
+	puts     atomic.Int64
+	discards atomic.Int64
 }
 
 // Get returns a machine for the configuration, reusing a pooled one when
@@ -50,5 +60,24 @@ func (mp *MachinePool) Put(m *Machine) {
 		c.Prog = nil
 		c.instrs = nil
 	}
+	mp.puts.Add(1)
 	mp.pool.Put(m)
+}
+
+// Discard drops a machine instead of pooling it — the mandatory exit for
+// a machine whose run failed, panicked or was abandoned past its
+// deadline. The machine is simply released to the GC (its state may be
+// arbitrarily corrupt, so no field is worth salvaging); the call exists
+// so the quarantine decision is explicit and counted.
+func (mp *MachinePool) Discard(m *Machine) {
+	if m == nil {
+		return
+	}
+	mp.discards.Add(1)
+}
+
+// Stats reports how many machines have been returned to the pool and how
+// many were quarantined via Discard over the pool's lifetime.
+func (mp *MachinePool) Stats() (puts, discards int64) {
+	return mp.puts.Load(), mp.discards.Load()
 }

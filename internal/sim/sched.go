@@ -74,10 +74,20 @@ type lockstepSched struct{}
 
 func (lockstepSched) Name() string { return SchedLockstep.String() }
 
+// interruptMask gates the lockstep loop's cooperative-interrupt poll to
+// every 4096 cycles: one atomic load per 4096 iterations is invisible in
+// the per-cycle budget, and a wall-clock abandon (the only caller of
+// Interrupt) cares about milliseconds, not cycles. The event loops poll
+// at their denseWindow boundaries instead.
+const interruptMask = 4096 - 1
+
 func (lockstepSched) Run(m *Machine) error {
 	for !m.allHalted() {
 		if m.Now >= m.P.MaxCycles {
 			return m.watchdogErr()
+		}
+		if m.Now&interruptMask == 0 && m.interrupted.Load() {
+			return m.interruptedErr()
 		}
 		m.Step()
 		if m.hookErr != nil {
@@ -169,6 +179,12 @@ const scanSchedMaxCores = 16
 func (eventSched) Run(m *Machine) error {
 	m.lazyAttr = true
 	defer func() { m.lazyAttr = false }()
+	// Entry check so an interrupt raised before Run (a deadline abandon
+	// racing a pool handoff) fails even a run too short to reach its
+	// first window boundary; the loops poll at the boundaries after this.
+	if m.interrupted.Load() {
+		return m.interruptedErr()
+	}
 	useScan := len(m.Cores) <= scanSchedMaxCores
 	for {
 		var (
@@ -279,6 +295,9 @@ func (m *Machine) runDense() (done bool, err error) {
 			}
 		}
 		if m.Now-winStart >= denseWindow {
+			if m.interrupted.Load() {
+				return false, m.interruptedErr()
+			}
 			if winExec*100 < denseExitPct*(m.Now-winStart)*int64(len(live)) {
 				return false, nil
 			}
@@ -452,6 +471,9 @@ func (m *Machine) runScan() (done bool, err error) {
 		}
 		m.pendingWakes = m.pendingWakes[:0]
 		if m.Now-winStart >= denseWindow {
+			if m.interrupted.Load() {
+				return false, m.interruptedErr()
+			}
 			if halted < n && winExec*100 >= denseEnterPct*(m.Now-winStart)*int64(n-halted) {
 				return false, nil
 			}
@@ -603,6 +625,9 @@ func (m *Machine) runWheel() (done bool, err error) {
 		}
 		m.pendingWakes = m.pendingWakes[:0]
 		if m.Now-winStart >= denseWindow {
+			if m.interrupted.Load() {
+				return false, m.interruptedErr()
+			}
 			if halted < n && winExec*100 >= denseEnterPct*(m.Now-winStart)*int64(n-halted) {
 				return false, nil
 			}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -11,13 +12,41 @@ import (
 type RunFunc func(Run) (*sim.Result, error)
 
 // Engine executes expanded runs across a bounded pool of worker
-// goroutines. The zero value is ready to use: GOMAXPROCS workers and the
-// real simulator.
+// goroutines, with fault isolation around every run: panics become
+// structured Outcome errors, hung runs are abandoned on a wall-clock
+// deadline, possibly-transient failures retry deterministically, and a
+// journal makes an interrupted sweep resumable. The zero value is ready
+// to use: GOMAXPROCS workers, the real simulator, and every resilience
+// feature off.
 type Engine struct {
 	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// Runner overrides run execution (tests); nil means the simulator.
 	Runner RunFunc
+	// Tasks overrides run execution at the attempt level, seeing the
+	// attempt number and the machine-ownership handle (fault injection:
+	// internal/chaos). Takes precedence over Runner; nil falls back.
+	Tasks TaskFunc
+	// Deadline bounds each attempt's wall-clock time; an attempt that
+	// exceeds it is abandoned and fails with FailDeadline. <= 0 disables.
+	Deadline time.Duration
+	// Retries grants possibly-transient failures up to this many further
+	// attempts (deterministic failures — watchdog, oracle divergence —
+	// never retry). 0 disables retry.
+	Retries int
+	// RetrySeed seeds the deterministic retry-backoff jitter.
+	RetrySeed int64
+	// RetryBackoff is the base wall-clock pause between attempts
+	// (jittered into [base, 2*base)); <= 0 means 25ms.
+	RetryBackoff time.Duration
+	// Journal, when non-nil, memoizes outcomes: runs already journaled
+	// are replayed instead of executed, and completed runs are appended.
+	// See Journal for the crash-safety and resume contract.
+	Journal *Journal
+	// Stop, when non-nil, checkpoints the sweep once closed: in-flight
+	// runs drain normally (and are journaled), runs not yet started
+	// resolve to ErrInterrupted outcomes without executing.
+	Stop <-chan struct{}
 }
 
 func (e *Engine) workers() int {
@@ -27,11 +56,15 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (e *Engine) runner() RunFunc {
-	if e.Runner != nil {
-		return e.Runner
+func (e *Engine) taskFunc() TaskFunc {
+	if e.Tasks != nil {
+		return e.Tasks
 	}
-	return runOne
+	if e.Runner != nil {
+		run := e.Runner
+		return func(t Task) (*sim.Result, error) { return run(t.Run) }
+	}
+	return defaultRunner
 }
 
 // Execute runs the grid and returns one outcome per input run, in input
@@ -73,11 +106,26 @@ func (e *Engine) ExecuteStream(runs []Run, emit func(Outcome)) {
 		res *sim.Result
 		err error
 	}
-	run := e.runner()
-	get, wait := Dispatch(len(uniq), e.workers(), func(i int) slot {
-		res, err := run(uniq[i])
+	fn := e.taskFunc()
+	exec := func(i int) slot {
+		r := uniq[i]
+		if e.Journal != nil {
+			if res, err, ok := e.Journal.Lookup(r); ok {
+				return slot{res, err}
+			}
+		}
+		res, err := e.guardedRun(fn, r)
+		if e.Journal != nil {
+			if jerr := e.Journal.Record(r, res, err); jerr != nil && err == nil {
+				// A journal that cannot record makes resume lie; fail the
+				// run loudly rather than silently losing its record.
+				res, err = nil, jerr
+			}
+		}
 		return slot{res, err}
-	})
+	}
+	skip := func(int) slot { return slot{nil, ErrInterrupted} }
+	get, wait := DispatchStop(len(uniq), e.workers(), exec, e.Stop, skip)
 
 	// Emit in input order, blocking on each run's representative.
 	for i, r := range runs {

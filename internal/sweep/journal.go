@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// journalLine is one journal record: the run's identity (mirroring the
+// engine's dedup key — Spec labels are presentation, not identity) plus
+// either its full Result or its rendered failure. sim.Result holds only
+// integers, so the JSON round trip is exact and a replayed Result is
+// reflect.DeepEqual to the original — which also keeps the lab's
+// lockstep-oracle comparison valid across a resume.
+type journalLine struct {
+	Workload string      `json:"workload"`
+	Seed     int64       `json:"seed"`
+	Params   sim.Params  `json:"params"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Kind     string      `json:"kind,omitempty"`
+}
+
+type journalEntry struct {
+	res *sim.Result
+	err error
+}
+
+// Journal is the crash-safe run journal: an append-only JSONL file (or a
+// purely in-memory table) mapping run identity to outcome. The engine
+// consults it before executing a run and appends after — so a sweep
+// killed at any point leaves a journal whose every line is a completed
+// run, and a -resume re-execution replays those outcomes instead of
+// re-simulating. Failure entries replay as *RunError with the recorded
+// kind and message, byte-identical to the original rendering; interrupted
+// runs are never journaled. Loading tolerates a torn final line (the
+// crash artifact) by truncating it away.
+type Journal struct {
+	mu      sync.Mutex
+	w       *os.File
+	entries map[key]journalEntry
+	hits    int
+}
+
+// NewJournal returns an in-memory journal: outcomes are memoized within
+// the process but nothing is written to disk. Tests and library callers
+// use it to get resume semantics without a file.
+func NewJournal() *Journal {
+	return &Journal{entries: make(map[key]journalEntry)}
+}
+
+// OpenJournal opens the journal file at path. With resume=false the file
+// is truncated (a fresh sweep); with resume=true existing records are
+// loaded first and appends continue after the last intact line — any
+// torn trailing line from a crash is discarded.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := NewJournal()
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: journal: %w", err)
+		}
+		j.w = f
+		return j, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	intact, err := j.load(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	// Drop the torn tail (if any) so appends start on a line boundary.
+	if err := f.Truncate(intact); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	j.w = f
+	return j, nil
+}
+
+// load parses records from the start of f and returns the byte offset of
+// the end of the last intact line. A line is intact when it parses as a
+// record AND ends in a newline; anything after the first violation is a
+// torn tail and is ignored (later duplicates of a key win, matching
+// append order).
+func (j *Journal) load(f *os.File) (int64, error) {
+	var intact int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		complete := err == nil && len(line) > 0
+		if complete {
+			var jl journalLine
+			if json.Unmarshal(line, &jl) != nil {
+				return intact, nil // torn or corrupt: keep the valid prefix
+			}
+			k := key{jl.Workload, jl.Seed, jl.Params}
+			if jl.Error != "" {
+				j.entries[k] = journalEntry{err: &RunError{Kind: parseFailKind(jl.Kind), Msg: jl.Error}}
+			} else if jl.Result != nil {
+				j.entries[k] = journalEntry{res: jl.Result}
+			}
+			intact += int64(len(line))
+		}
+		if err == io.EOF {
+			return intact, nil
+		}
+	}
+}
+
+// Lookup returns the journaled outcome for the run's identity, if any.
+func (j *Journal) Lookup(r Run) (res *sim.Result, err error, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[r.key()]
+	if ok {
+		j.hits++
+	}
+	return e.res, e.err, ok
+}
+
+// Record journals one completed outcome. Each record is one Write of one
+// line, so a crash can tear at most the final line — which load discards.
+func (j *Journal) Record(r Run, res *sim.Result, err error) error {
+	jl := journalLine{Workload: r.Workload, Seed: r.Seed, Params: r.Params}
+	if err != nil {
+		jl.Error = err.Error()
+		jl.Kind = Classify(err).String()
+	} else {
+		jl.Result = res
+	}
+	buf, merr := json.Marshal(jl)
+	if merr != nil {
+		return fmt.Errorf("sweep: journal: %w", merr)
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[r.key()] = journalEntry{res: res, err: err}
+	if j.w == nil {
+		return nil
+	}
+	if _, werr := j.w.Write(buf); werr != nil {
+		return fmt.Errorf("sweep: journal: %w", werr)
+	}
+	return nil
+}
+
+// Len returns the number of journaled outcomes.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Hits returns how many engine lookups were served from the journal —
+// the "resumed N cached runs" number the CLIs report.
+func (j *Journal) Hits() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// Close flushes and closes the journal file, if any.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return nil
+	}
+	err := j.w.Close()
+	j.w = nil
+	return err
+}

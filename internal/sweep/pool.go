@@ -17,6 +17,15 @@ import (
 // consumed in any deterministic order the caller chooses, typically
 // input order for byte-stable streamed output.
 func Dispatch[T any](n, workers int, fn func(int) T) (get func(int) T, wait func()) {
+	return DispatchStop(n, workers, fn, nil, nil)
+}
+
+// DispatchStop is Dispatch with checkpointing: once stop is closed, no
+// further index is issued — every not-yet-started index resolves
+// immediately to skip(i) instead of fn(i), while indices already in
+// flight complete normally. stop may be nil (never fires); skip may be
+// nil only when stop is.
+func DispatchStop[T any](n, workers int, fn func(int) T, stop <-chan struct{}, skip func(int) T) (get func(int) T, wait func()) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -43,12 +52,24 @@ func Dispatch[T any](n, workers int, fn func(int) T) (get func(int) T, wait func
 			}
 		}()
 	}
+	// A closed stop truncates the issued sequence to a prefix of 0..n-1;
+	// which prefix depends on timing, but every skipped index resolves
+	// deterministically via skip, and a journal-resumed re-execution
+	// restores the byte-identical full output.
 	//lint:nondet-safe feeder goroutine; emits indices in fixed 0..n-1 order
 	go func() {
+		defer close(next)
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-stop:
+				for j := i; j < n; j++ {
+					results[j] = skip(j)
+					close(done[j])
+				}
+				return
+			}
 		}
-		close(next)
 	}()
 	get = func(i int) T {
 		<-done[i]

@@ -241,30 +241,71 @@ func AllModes() []sim.Mode { return []sim.Mode{sim.Eager, sim.LazyVB, sim.RetCon
 // streamed output stays byte-identical for any pool size.
 var machines sim.MachinePool
 
-// runOne executes a single run: build the workload bundle, simulate on a
-// (reused) machine, and verify the final memory image against the
-// workload's atomicity invariants (the same oracle the root retcon.Run
-// applies).
-func runOne(r Run) (*sim.Result, error) {
-	w, err := workloads.Lookup(r.Workload)
-	if err != nil {
-		return nil, err
-	}
-	bundle := w.Build(r.Params.Cores, r.Seed)
-	machine, err := machines.Get(r.Params, bundle.Mem, bundle.Programs)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
-	}
-	res, err := machine.Run()
-	machines.Put(machine)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
-	}
-	if bundle.Verify != nil {
-		if err := bundle.Verify(bundle.Mem); err != nil {
-			return nil, fmt.Errorf("sweep: %s (%v, %d cores, seed %d): %w",
-				r.Workload, r.Params.Mode, r.Params.Cores, r.Seed, err)
+// SimRunner returns the simulator-backed task runner: build the workload
+// bundle, simulate on a (reused) machine, and verify the final memory
+// image against the workload's atomicity invariants (the same oracle the
+// root retcon.Run applies). instrument, when non-nil, is invoked with the
+// run's machine after Reset and before Run — the plug point for fault
+// injection (internal/chaos) and custom scheduler installation.
+//
+// Machine lifecycle: the quarantine rule says only a machine whose run
+// fully succeeded (simulation AND verification) returns to the pool;
+// failure, panic or abandonment Discards it. The task's OnMachine handle
+// is released in the same deferred exit, before the pool decision, so a
+// belated deadline abandon can never interrupt the machine's next run.
+func SimRunner(instrument func(Run, *sim.Machine)) TaskFunc {
+	return func(t Task) (*sim.Result, error) {
+		r := t.Run
+		w, err := workloads.Lookup(r.Workload)
+		if err != nil {
+			return nil, err
 		}
+		bundle := w.Build(r.Params.Cores, r.Seed)
+		machine, err := machines.Get(r.Params, bundle.Mem, bundle.Programs)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
+		}
+		succeeded := false
+		defer func() {
+			// Release the deadline watchdog's ownership handle FIRST:
+			// once the machine is pooled it belongs to its next run, and
+			// an abandon that fires after this point must be a no-op.
+			if t.OnMachine != nil {
+				t.OnMachine(nil)
+			}
+			if succeeded {
+				machines.Put(machine)
+			} else {
+				machines.Discard(machine)
+			}
+		}()
+		if t.OnMachine != nil {
+			t.OnMachine(machine)
+		}
+		if instrument != nil {
+			instrument(r, machine)
+		}
+		res, err := machine.Run()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", r.Workload, err)
+		}
+		if bundle.Verify != nil {
+			if err := bundle.Verify(bundle.Mem); err != nil {
+				return nil, &RunError{
+					Kind: FailOracle,
+					Msg: fmt.Sprintf("sweep: %s (%v, %d cores, seed %d): %v",
+						r.Workload, r.Params.Mode, r.Params.Cores, r.Seed, err),
+				}
+			}
+		}
+		succeeded = true
+		return res, nil
 	}
-	return res, nil
 }
+
+// defaultRunner is the engine's uninstrumented simulator runner.
+var defaultRunner = SimRunner(nil)
+
+// PoolStats reports the shared machine pool's lifetime Put/Discard
+// counts — the observable face of the quarantine rule, for tests.
+func PoolStats() (puts, discards int64) { return machines.Stats() }
