@@ -36,10 +36,16 @@
 #                    counts, and a killed-and-resumed sweep reproduces
 #                    the uninterrupted output byte for byte — under the
 #                    race detector (the CI gate for fault isolation)
+#   make trace-smoke observability gate: the recorded event stream for a
+#                    fixed (workload, seed, cores) must match the
+#                    committed golden trace byte for byte across both
+#                    schedulers and 1/8 sweep workers, a panicked run
+#                    must leave a clean partial trace, and the
+#                    retcon-trace analyzer must parse both wire formats
 
 GO ?= go
 
-.PHONY: build vet lint test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record chaos-smoke
+.PHONY: build vet lint test test-short race ci bench bench-check bench-smoke profile paperbench fuzz fuzz-long wload-smoke lab-smoke lab-record chaos-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -62,7 +68,7 @@ test-short: build
 race: build
 	$(GO) test -race ./...
 
-ci: vet lint test wload-smoke lab-smoke chaos-smoke
+ci: vet lint test wload-smoke lab-smoke chaos-smoke trace-smoke
 
 # Declarative-workload smoke: every spec in the preset library must
 # validate, compile, run under eager/lazy-vb/RetCon and pass its declared
@@ -89,6 +95,17 @@ lab-record: build
 # the engine runs concurrent with a simulating machine.
 chaos-smoke: build
 	$(GO) test -race -count=1 ./internal/chaos/
+
+# Observability smoke: the golden trace-determinism test (lockstep vs
+# event vs sweep workers 1/8, byte-identical and equal to the committed
+# testdata golden), the chaos partial-trace truncation case, and the
+# retcon-trace analyzer's own tests over both wire formats. Regenerate
+# the golden after an intentional schema change with
+# `go test -run TraceGolden -update-golden .`.
+trace-smoke: build
+	$(GO) test -count=1 -run TraceGolden .
+	$(GO) test -count=1 -run PanickedRunLeavesCleanPartialTrace ./internal/chaos/
+	$(GO) test -count=1 ./cmd/retcon-trace/
 
 # The simulator's own perf trajectory: lockstep vs event-driven scheduler
 # wall-clock on stall-heavy configurations, recorded at the repo root so

@@ -31,6 +31,8 @@ import (
 
 	retcon "repro"
 	"repro/internal/lab"
+	"repro/internal/progress"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -62,6 +64,7 @@ func usage() {
   retcon-lab validate <file-or-dir>...
   retcon-lab run [-workers N] [-sched event|lockstep] [-out PATH|-] [-record] [-check]
                  [-journal FILE [-resume]] [-run-deadline D] [-retries N] [-retry-seed S]
+                 [-progress D] [-metrics PATH]
                  <file-or-dir>...
   retcon-lab vars`)
 }
@@ -130,6 +133,8 @@ func cmdRun(args []string) {
 	retrySeed := fs.Int64("retry-seed", 0, "seed for the deterministic retry-backoff jitter")
 	journalPath := fs.String("journal", "", "append completed runs to this JSONL journal (crash-safe; enables -resume)")
 	resume := fs.Bool("resume", false, "replay outcomes already recorded in -journal instead of re-running them")
+	metricsPath := fs.String("metrics", "", "write per-run metric snapshots from the hypothesis grids as JSON lines to this file")
+	progressEvery := fs.Duration("progress", 0, "print a progress line (done/failed/retried, ETA) to stderr every interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -164,6 +169,26 @@ func cmdRun(args []string) {
 			fail(err)
 		}
 		opt.Journal = journal
+	}
+	var metricsClose func() error
+	var metricsErr error
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		metricsClose = f.Close
+		sink := report.NewMetricsSink(f)
+		opt.Observe = func(o sweep.Outcome) {
+			if err := sink.Emit(o); err != nil && metricsErr == nil {
+				metricsErr = err
+			}
+		}
+	}
+	var stopProgress func()
+	if *progressEvery > 0 {
+		opt.Progress = &sweep.Progress{}
+		stopProgress = progress.Start(os.Stderr, "retcon-lab", opt.Progress, *progressEvery)
 	}
 
 	// Graceful SIGINT: the first ^C checkpoints — in-flight grid runs
@@ -240,6 +265,17 @@ func cmdRun(args []string) {
 		default:
 			os.Stdout.Write(doc)
 		}
+	}
+	if stopProgress != nil {
+		stopProgress()
+	}
+	if metricsClose != nil {
+		if err := metricsClose(); err != nil && metricsErr == nil {
+			metricsErr = err
+		}
+	}
+	if metricsErr != nil {
+		fail(metricsErr)
 	}
 	if journal != nil {
 		if err := journal.Close(); err != nil {

@@ -7,7 +7,14 @@
 //
 //	retcon-sim -workload genome-sz -mode retcon -cores 32
 //	retcon-sim -workload counter -cores 2 -trace   # per-event timeline
+//	retcon-sim -workload counter -trace-out run.jsonl -metrics
 //	retcon-sim -list
+//
+// -trace-out records the structured event trace (analyze it with
+// retcon-trace); the stream is byte-identical across schedulers for a
+// fixed (workload, seed, cores). -metrics appends the run's metric
+// registry snapshot — abort-cause counters and latency histograms — to
+// the printed stats.
 package main
 
 import (
@@ -16,9 +23,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	retcon "repro"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +40,8 @@ func main() {
 	listWorkloads := flag.Bool("list-workloads", false, "list registry names and descriptions (including spec-registered entries) and exit")
 	speedup := flag.Bool("speedup", true, "also run the 1-core sequential baseline")
 	trace := flag.Bool("trace", false, "print a per-event transactional timeline (small runs only)")
+	traceOut := flag.String("trace-out", "", "record the structured event trace to this file ('-' = stdout; a .bin suffix selects the compact binary format, otherwise JSONL)")
+	metrics := flag.Bool("metrics", false, "print the metric registry snapshot (abort causes, latency histograms, scheduler occupancy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	flag.Parse()
@@ -90,10 +101,40 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Mode = mode
 	cfg.Sched = sched
+	if *trace && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "retcon-sim: -trace and -trace-out are mutually exclusive (one recorder per run)")
+		os.Exit(2)
+	}
 	var res *retcon.Result
-	if *trace {
+	switch {
+	case *traceOut != "":
+		tf := os.Stdout
+		if *traceOut != "-" {
+			tf, err = os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+				os.Exit(1)
+			}
+		}
+		var sink telemetry.Sink
+		if strings.HasSuffix(*traceOut, ".bin") {
+			sink = telemetry.NewBinarySink(tf)
+		} else {
+			sink = telemetry.NewJSONLSink(tf)
+		}
+		rec := telemetry.NewRecorder(sink, 0)
+		res, err = retcon.RunRecorded(w, cfg, *seed, rec)
+		if err == nil {
+			err = rec.Err()
+		}
+		if *traceOut != "-" {
+			if cerr := tf.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	case *trace:
 		res, err = retcon.RunTraced(w, cfg, *seed, os.Stdout)
-	} else {
+	default:
 		res, err = retcon.RunSeeded(w, cfg, *seed)
 	}
 	if err != nil {
@@ -132,6 +173,16 @@ func main() {
 			t3.AvgLost, t3.MaxLost, t3.AvgTracked, t3.MaxTracked, t3.AvgStores, t3.MaxStores)
 		fmt.Printf("          constraints %.1f (%.0f)  commit cycles %.1f  commit stall %.2f%%\n",
 			t3.AvgConstraints, t3.MaxConstraints, t3.AvgCommitCycles, t3.CommitStallPct)
+	}
+
+	if *metrics {
+		fmt.Println("metrics")
+		if err := res.Sim.MetricsSnapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "retcon-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sched     event-loop %d cycles  dense %d cycles  handoffs %d\n",
+			res.Sched.EventCycles, res.Sched.DenseCycles, res.Sched.Handoffs)
 	}
 
 	if *speedup {

@@ -10,6 +10,8 @@
 //	retcon-sweep -workloads genome,python_opt -modes all -cores 4,8 -seeds 1,2
 //	retcon-sweep -spec big.json -journal runs.jsonl    # crash-safe journal
 //	retcon-sweep -spec big.json -journal runs.jsonl -resume
+//	retcon-sweep -preset quick -metrics metrics.jsonl  # per-run metric snapshots
+//	retcon-sweep -spec big.json -progress 2s           # stderr progress + ETA
 //	retcon-sweep -list                                 # workloads and presets
 //
 // Quick flags refine the selected preset (or an empty spec): a flag that
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	retcon "repro"
+	"repro/internal/progress"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
@@ -57,6 +60,8 @@ func main() {
 	retrySeed := flag.Int64("retry-seed", 0, "seed for the deterministic retry-backoff jitter")
 	journalPath := flag.String("journal", "", "append completed runs to this JSONL journal (crash-safe; enables -resume)")
 	resume := flag.Bool("resume", false, "replay outcomes already recorded in -journal instead of re-running them")
+	metricsPath := flag.String("metrics", "", "write per-run metric snapshots (abort causes, latency histograms) as JSON lines to this file ('-' = stdout)")
+	progressEvery := flag.Duration("progress", 0, "print a progress line (done/failed/retried, ETA) to stderr every interval, e.g. 2s (0 = off; stdout is untouched)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -128,6 +133,11 @@ func main() {
 		Journal:   journal,
 		Stop:      stop,
 	}
+	var stopProgress func()
+	if *progressEvery > 0 {
+		eng.Progress = &sweep.Progress{}
+		stopProgress = progress.Start(os.Stderr, "retcon-sweep", eng.Progress, *progressEvery)
+	}
 	start := time.Now()
 
 	// Baselines go first in the SAME ExecuteStream call as the grid: the
@@ -159,6 +169,15 @@ func main() {
 			fail(err)
 		}
 		csvSink, csvClose = report.NewCSVSink(w), closeFn
+	}
+	var metricsSink *report.MetricsSink
+	var metricsClose func() error
+	if *metricsPath != "" {
+		w, closeFn, err := openOut(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		metricsSink, metricsClose = report.NewMetricsSink(w), closeFn
 	}
 
 	// Stream the sweep: records reach the sinks in deterministic run
@@ -200,10 +219,19 @@ func main() {
 			}
 		}
 		if csvSink != nil {
-			sinkErr = csvSink.Emit(rec)
+			if err := csvSink.Emit(rec); err != nil {
+				sinkErr = err
+				return
+			}
+		}
+		if metricsSink != nil {
+			sinkErr = metricsSink.Emit(o)
 		}
 	})
 	elapsed := time.Since(start)
+	if stopProgress != nil {
+		stopProgress()
+	}
 
 	if csvSink != nil && sinkErr == nil {
 		sinkErr = csvSink.Close()
@@ -218,14 +246,20 @@ func main() {
 			sinkErr = err
 		}
 	}
-	if journal != nil {
-		if hits := journal.Hits(); hits > 0 {
-			fmt.Fprintf(os.Stderr, "retcon-sweep: replayed %d journaled runs\n", hits)
+	if metricsClose != nil {
+		if err := metricsClose(); err != nil && sinkErr == nil {
+			sinkErr = err
 		}
+	}
+	if journal != nil {
+		fmt.Fprintf(os.Stderr, "retcon-sweep: journal: %d runs replayed, %d executed fresh, %d recorded\n",
+			journal.Hits(), journal.Misses(), journal.Len())
 		if err := journal.Close(); err != nil && sinkErr == nil {
 			sinkErr = err
 		}
 	}
+	puts, discards := sweep.PoolStats()
+	fmt.Fprintf(os.Stderr, "retcon-sweep: machine pool: %d releases, %d quarantined\n", puts, discards)
 	if sinkErr != nil {
 		fail(sinkErr)
 	}

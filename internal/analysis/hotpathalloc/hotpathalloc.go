@@ -19,14 +19,24 @@
 //     long-lived backing: appends to struct fields (m.buf) and to
 //     locals derived from fields or parameters (buf := m.buf[:0])
 //     amortize to zero against a reused machine, appends to a fresh
-//     local grow per call.
+//     local grow per call;
+//   - unguarded telemetry emission: a call to (*telemetry.Recorder).Emit
+//     that is not lexically inside an `if <recorder> != nil` branch.
+//     Emit is nil-safe, but the disabled-path cost contract says an
+//     unrecorded run pays one nil check per decision point — an
+//     unguarded call pays the event-struct construction and the method
+//     call even when telemetry is off. Compound conditions
+//     (`x && m.rec != nil`) satisfy the guard.
 //
 // Constructs that are genuinely free on the steady-state path (a
-// trace-gated boxing site, a cold branch) carry //lint:alloc-ok <reason>.
+// trace-gated boxing site, a cold branch) carry //lint:alloc-ok <reason>;
+// an emission site that is deliberately unguarded carries
+// //lint:trace-ok <reason>.
 package hotpathalloc
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis/lintkit"
@@ -103,6 +113,113 @@ func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+
+	checkEmitGuards(pass, fn)
+}
+
+// checkEmitGuards enforces the enabled-guard contract on telemetry
+// emission sites: every (*telemetry.Recorder).Emit call in a hotpath
+// function must sit inside an if-branch whose condition nil-checks a
+// recorder, so the disabled path pays one comparison and never builds
+// the event. The ancestor stack comes from ast.Inspect's pre/post
+// traversal (a nil node pops).
+func checkEmitGuards(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRecorderEmit(pass, call) {
+			return true
+		}
+		if emitGuarded(pass, stack) {
+			return true
+		}
+		if !pass.Suppressed(call.Pos(), "trace-ok") {
+			pass.Reportf(call.Pos(),
+				"unguarded telemetry emission in hotpath function %s: wrap in `if <recorder> != nil { ... }` so the disabled path stays one nil check",
+				fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// isRecorderEmit reports whether call invokes Emit on a
+// *telemetry.Recorder receiver.
+func isRecorderEmit(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return false
+	}
+	obj, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isRecorderPtr(sig.Recv().Type())
+}
+
+// isRecorderPtr reports whether t is *Recorder from the telemetry
+// package (fixture packages type-check under synthetic paths, hence
+// the suffix match).
+func isRecorderPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil &&
+		lintkit.PathInSet(obj.Pkg().Path(), []string{"telemetry"})
+}
+
+// emitGuarded reports whether the innermost Emit call (stack's top) is
+// inside the then-branch of an if whose condition nil-checks a
+// recorder. Only descent into the if's Body counts: the condition and
+// else-branch run on the disabled path too.
+func emitGuarded(pass *lintkit.Pass, stack []ast.Node) bool {
+	for i := 0; i < len(stack)-1; i++ {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok || stack[i+1] != ast.Node(ifs.Body) {
+			continue
+		}
+		if condChecksRecorder(pass, ifs.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// condChecksRecorder reports whether cond contains a `<recorder> != nil`
+// (or `nil != <recorder>`) comparison anywhere, so compound guards like
+// `enabled && m.rec != nil` qualify.
+func condChecksRecorder(pass *lintkit.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.NEQ {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			vt := pass.TypesInfo.Types[pair[0]]
+			nt := pass.TypesInfo.Types[pair[1]]
+			if nt.IsNil() && vt.Type != nil && isRecorderPtr(vt.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 func kindName(t types.Type) string {

@@ -18,8 +18,8 @@ func TestGolden(t *testing.T) {
 // there is no package gate to test.
 func TestCaught(t *testing.T) {
 	diags := difftest.Findings(t, hotpathalloc.Analyzer, "testdata/hot", "repro/internal/sim")
-	if len(diags) != 9 {
-		t.Fatalf("got %d findings, want 9 (one per allocation class): %v", len(diags), diags)
+	if len(diags) != 10 {
+		t.Fatalf("got %d findings, want 10 (one per allocation class): %v", len(diags), diags)
 	}
 }
 

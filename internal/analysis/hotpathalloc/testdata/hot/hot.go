@@ -4,11 +4,16 @@
 // functions are not.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 type machine struct {
 	buf   []int
 	ready []int
+	rec   *telemetry.Recorder
 }
 
 func sink(v interface{}) { _ = v }
@@ -33,6 +38,8 @@ func (m *machine) hot(n int) {
 	fresh = append(fresh, 1) // want "grows a fresh slice"
 	_ = fresh
 
+	m.rec.Emit(telemetry.Event{Cycle: int64(n)}) // want "unguarded telemetry emission"
+
 	m.buf = append(m.buf, n)
 	ready := m.ready[:0]
 	ready = append(ready, n)
@@ -41,6 +48,17 @@ func (m *machine) hot(n int) {
 	//lint:alloc-ok fixture: justified cold-path allocation
 	cold := make([]int, n)
 	_ = cold
+
+	// Guarded emissions — plain and compound conditions — are the
+	// sanctioned pattern and must not be flagged.
+	if m.rec != nil {
+		m.rec.Emit(telemetry.Event{Cycle: int64(n)})
+	}
+	if n > 0 && m.rec != nil {
+		m.rec.Emit(telemetry.Event{Cycle: int64(n)})
+	}
+	//lint:trace-ok fixture: justified unguarded emission
+	m.rec.Emit(telemetry.Event{Cycle: int64(n)})
 }
 
 func cold(n int) []int {

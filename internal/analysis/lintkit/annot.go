@@ -14,6 +14,9 @@ import (
 //	//lint:nondet-safe   <reason>   on (or directly above) the flagged stmt
 //	//lint:recover-ok    <reason>   on (or directly above) a recover() call
 //	//lint:alloc-ok      <reason>   on (or directly above) the flagged expr
+//	//lint:trace-ok      <reason>   on (or directly above) a deliberately
+//	                                unguarded telemetry emission in a
+//	                                hotpath function
 //
 // Contract markers use the //retcon: namespace:
 //

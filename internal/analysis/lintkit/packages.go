@@ -11,6 +11,7 @@ import "strings"
 // that never reach a Result.
 var DeterministicPackages = []string{
 	"sim", "core", "htm", "coherence", "sweep", "report", "lab", "wspec",
+	"telemetry",
 }
 
 // ResetPackages names the packages whose Reset/ResetTo/ResetFor types

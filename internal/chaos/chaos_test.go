@@ -15,6 +15,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -478,5 +479,58 @@ func TestLabJournalResume(t *testing.T) {
 	}
 	if !bytes.Equal(doc1, doc2) {
 		t.Error("resumed findings differ from the uninterrupted run")
+	}
+}
+
+// TestPanickedRunLeavesCleanPartialTrace: a run killed mid-simulation
+// by an injected scheduler panic must leave a well-formed partial event
+// trace — the machine's deferred recorder flush fires on the panic
+// unwind, so the sink holds a record-aligned prefix of the clean run's
+// trace, never a torn record.
+func TestPanickedRunLeavesCleanPartialTrace(t *testing.T) {
+	const panicAt = 300
+	run := sweep.Run{Workload: "counter", Seed: 1, Params: sim.DefaultParams()}
+	run.Params.Cores = 2
+	run.Params.Mode = sim.RetCon
+
+	// Clean reference: the same run to completion under lockstep (the
+	// panicking scheduler drives the lockstep Step loop, so event order
+	// matches it exactly).
+	var full bytes.Buffer
+	cleanRun := run
+	cleanRun.Params.Sched = sim.SchedLockstep
+	outs := (&sweep.Engine{Tasks: sweep.SimRunner(func(r sweep.Run, m *sim.Machine) {
+		m.Record(telemetry.NewRecorder(telemetry.NewJSONLSink(&full), 64))
+	})}).Execute([]sweep.Run{cleanRun})
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+
+	// Faulted run: recorder attached, scheduler panics at a fixed cycle.
+	// The tiny ring (64 events) forces several mid-run flushes, so the
+	// partial trace crosses flush boundaries before the panic tears it.
+	var partial bytes.Buffer
+	outs = (&sweep.Engine{Tasks: sweep.SimRunner(func(r sweep.Run, m *sim.Machine) {
+		m.Record(telemetry.NewRecorder(telemetry.NewJSONLSink(&partial), 64))
+		m.SetScheduler(&chaos.PanicScheduler{After: panicAt})
+	})}).Execute([]sweep.Run{run})
+	if k := sweep.Classify(outs[0].Err); k != sweep.FailPanic {
+		t.Fatalf("classified %v (err %v), want panic", k, outs[0].Err)
+	}
+
+	evs, err := telemetry.ReadEvents(bytes.NewReader(partial.Bytes()))
+	if err != nil {
+		t.Fatalf("partial trace is torn: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("partial trace is empty; expected events before the panic cycle")
+	}
+	for i := range evs {
+		if evs[i].Cycle > panicAt {
+			t.Errorf("event %d at cycle %d, after the panic cycle %d", i, evs[i].Cycle, panicAt)
+		}
+	}
+	if !bytes.HasPrefix(full.Bytes(), partial.Bytes()) {
+		t.Error("partial trace is not a byte prefix of the clean run's trace")
 	}
 }

@@ -53,6 +53,14 @@ type Options struct {
 	// simulations drain and are journaled, and Run returns an error
 	// instead of judging a partial grid.
 	Stop <-chan struct{}
+	// Progress, when non-nil, receives the sweep engine's completion
+	// counters (retcon-lab's -progress reporter polls them).
+	Progress *sweep.Progress
+	// Observe, when non-nil, is called once per successful grid run in
+	// deterministic run order after the grid completes (baselines and
+	// oracle twins excluded) — the export hook behind retcon-lab's
+	// -metrics. It must not mutate the outcome.
+	Observe func(sweep.Outcome)
 }
 
 // Arm is one side of a paired cell: the per-seed metric values in seed
@@ -161,6 +169,7 @@ func Run(h *Hypothesis, opt Options) (*Report, error) {
 		RetrySeed: opt.RetrySeed,
 		Journal:   opt.Journal,
 		Stop:      opt.Stop,
+		Progress:  opt.Progress,
 	}
 	outs := eng.Execute(combined)
 
@@ -176,6 +185,14 @@ func Run(h *Hypothesis, opt Options) (*Report, error) {
 	bix := sweep.NewBaselineIndex(outs[:len(baselines)])
 	gouts := outs[len(baselines) : len(baselines)+len(grid)]
 	oouts := outs[len(baselines)+len(grid):]
+
+	if opt.Observe != nil {
+		for _, o := range gouts {
+			if o.Err == nil {
+				opt.Observe(o)
+			}
+		}
+	}
 
 	rep := &Report{
 		H:         h,

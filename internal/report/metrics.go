@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// The -metrics export schema shared by retcon-sweep and retcon-lab: one
+// JSON line per successful run, carrying the run identity and the
+// metric registry snapshot (abort-cause counters and latency
+// histograms). Field order is fixed by the structs and metric order by
+// Result.MetricsSnapshot, so the file is byte-stable across worker
+// counts and schedulers like every other sink in this package.
+
+type metricsLine struct {
+	Workload string        `json:"workload"`
+	Mode     string        `json:"mode"`
+	Cores    int           `json:"cores"`
+	Seed     int64         `json:"seed"`
+	Metrics  []metricEntry `json:"metrics"`
+}
+
+type metricEntry struct {
+	Name  string    `json:"name"`
+	Value int64     `json:"value"`
+	Hist  *histJSON `json:"hist,omitempty"`
+}
+
+type histJSON struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// MetricsSink streams per-run metric snapshots as JSON lines.
+type MetricsSink struct {
+	enc *json.Encoder
+}
+
+// NewMetricsSink wraps w.
+func NewMetricsSink(w io.Writer) *MetricsSink {
+	return &MetricsSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one successful outcome's snapshot as one line; failed
+// outcomes (no Result to snapshot) are skipped.
+func (s *MetricsSink) Emit(o sweep.Outcome) error {
+	if o.Err != nil || o.Res == nil {
+		return nil
+	}
+	line := metricsLine{
+		Workload: o.Run.Workload,
+		Mode:     o.Run.Params.Mode.String(),
+		Cores:    o.Run.Params.Cores,
+		Seed:     o.Run.Seed,
+	}
+	for _, m := range o.Res.MetricsSnapshot() {
+		e := metricEntry{Name: m.Name, Value: m.Value}
+		if m.Hist != nil {
+			e.Hist = histToJSON(m.Hist)
+		}
+		line.Metrics = append(line.Metrics, e)
+	}
+	return s.enc.Encode(line)
+}
+
+func histToJSON(h *telemetry.Hist) *histJSON {
+	return &histJSON{
+		Count:   h.Count,
+		Sum:     h.Sum,
+		Min:     h.Min,
+		Max:     h.Max,
+		Buckets: append([]int64(nil), h.Buckets[:]...),
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // commit executes TXCOMMIT for core c. In eager mode (or when no symbolic
@@ -62,7 +63,7 @@ func (m *Machine) commitRepair(c *Core) {
 		if e.Written {
 			if !c.Tx.Spec.Mark(e.Block, false) { // also mark read for atomicity
 				c.Stats.Overflows++
-				m.abort(c, -1)
+				m.abort(c, -1, telemetry.CauseSpecOverflow)
 				return
 			}
 		}
@@ -80,13 +81,13 @@ func (m *Machine) commitRepair(c *Core) {
 	// Constraint validation against final values.
 	if w := c.Ret.CheckConstraints(); w >= 0 {
 		c.RetAgg.ConstraintViolations++
-		c.Pred.ObserveViolation(mem.BlockOf(w))
-		if m.traceEnabled() {
+		m.trainDown(c, w)
+		if m.rec != nil {
 			iv, _ := c.Ret.ConstraintOn(w)
-			//lint:alloc-ok trace-gated; args box only when -trace is on
-			m.trace(c, "violate constraint %v on word %#x (value %d)", iv, w, c.Ret.RootVal(w))
+			m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindViolate,
+				Tx: c.Tx.TS, Block: w, A: c.Ret.RootVal(w), B: iv.Lo, C: iv.Hi})
 		}
-		m.abort(c, -1)
+		m.abort(c, -1, telemetry.CauseConstraintViolation)
 		return
 	}
 
@@ -119,10 +120,18 @@ func (m *Machine) commitRepair(c *Core) {
 	}
 
 	stats.CommitCycles = repairLat
-	if m.traceEnabled() {
-		//lint:alloc-ok trace-gated; args box only when -trace is on
-		m.trace(c, "repair  %d blocks (%d lost), %d stores, %d constraints, %d cycles",
-			stats.BlocksTracked, stats.BlocksLost, stats.PrivateStores, stats.ConstraintAddrs, repairLat)
+	// The repair-vs-replay delta: a replay would re-spend every cycle the
+	// attempt accumulated; the repair spends repairLat instead. The
+	// accumulators are exact here under both schedulers — the committing
+	// core is the executing core, which lazy attribution settles before
+	// exec — so the histogram is scheduler-invariant like the rest of the
+	// registry.
+	m.metrics.RepairLat.Observe(repairLat)
+	m.metrics.RepairDelta.Observe(c.Tx.AccumBusy + c.Tx.AccumOther - repairLat)
+	if m.rec != nil {
+		m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindRepair, Tx: c.Tx.TS,
+			A: int64(stats.BlocksTracked), B: int64(stats.BlocksLost),
+			C: int64(stats.PrivateStores), D: int64(stats.ConstraintAddrs), E: repairLat})
 	}
 	c.addCycle(CatBusy)
 	txCycles := m.Now - c.Tx.StartCycle + 1 + repairLat
@@ -136,9 +145,8 @@ func (m *Machine) commitRepair(c *Core) {
 //
 //retcon:hotpath runs at every transaction commit
 func (m *Machine) finishCommit(c *Core, repairLat, txCycles int64) {
-	if m.traceEnabled() {
-		//lint:alloc-ok trace-gated; args box only when -trace is on
-		m.trace(c, "commit  ts=%d lifetime=%d cycles", c.Tx.TS, txCycles)
+	if m.rec != nil {
+		m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindCommit, Tx: c.Tx.TS, A: txCycles})
 	}
 	c.PC++
 	if m.commitHook != nil && m.hookErr == nil {

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
-	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // exec runs one instruction on core c (1 IPC; multi-cycle operations stall
@@ -39,11 +39,18 @@ func (m *Machine) exec(c *Core) {
 		val, sym, lat, st := m.load(c, addr, in.Size)
 		switch st {
 		case accessNack:
+			if c.nackWaitSince == 0 {
+				c.nackWaitSince = m.Now
+			}
 			c.addCycle(CatConflict)
 			c.setStall(m.Now+m.P.NackRetry-1, CatConflict)
 		case accessAbort:
 			// PC and stall already set by abort.
 		default:
+			if c.nackWaitSince != 0 {
+				m.metrics.NackWait.Observe(m.Now - c.nackWaitSince)
+				c.nackWaitSince = 0
+			}
 			c.addCycle(CatBusy)
 			c.setStall(m.Now+lat-1, CatBusy)
 			c.setReg(in.Rd, val)
@@ -63,10 +70,17 @@ func (m *Machine) exec(c *Core) {
 		lat, st := m.store(c, addr, in.Size, c.Regs[in.Rs2], dataSym)
 		switch st {
 		case accessNack:
+			if c.nackWaitSince == 0 {
+				c.nackWaitSince = m.Now
+			}
 			c.addCycle(CatConflict)
 			c.setStall(m.Now+m.P.NackRetry-1, CatConflict)
 		case accessAbort:
 		default:
+			if c.nackWaitSince != 0 {
+				m.metrics.NackWait.Observe(m.Now - c.nackWaitSince)
+				c.nackWaitSince = 0
+			}
 			c.addCycle(CatBusy)
 			c.setStall(m.Now+lat-1, CatBusy)
 			c.PC++
@@ -92,8 +106,8 @@ func (m *Machine) exec(c *Core) {
 		}
 		c.Tx.Begin(c.PC, c.pendingTS, &c.Regs, m.Now)
 		c.Tx.AccumBusy = 1 // this TXBEGIN cycle belongs to the attempt
-		if m.traceEnabled() {
-			m.trace(c, "begin   ts=%d pc=%d", c.Tx.TS, c.PC)
+		if m.rec != nil {
+			m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindBegin, Tx: c.Tx.TS, A: int64(c.PC)})
 		}
 		c.PC++
 
@@ -339,11 +353,12 @@ func (m *Machine) execBranch(c *Core, in *isa.Instr) bool {
 				// constraint, and train the predictor down so the retry
 				// does not re-track the same root into the same dead end.
 				c.RetAgg.ConstraintFoldRejects++
-				c.Pred.ObserveViolation(mem.BlockOf(sym.Root))
-				if m.traceEnabled() {
-					m.trace(c, "reject  unfoldable %v constraint on word %#x", op, sym.Root)
+				m.trainDown(c, sym.Root)
+				if m.rec != nil {
+					m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindReject,
+						Tx: c.Tx.TS, Block: sym.Root, A: int64(op)})
 				}
-				m.abort(c, -1)
+				m.abort(c, -1, telemetry.CauseUnfoldableConstraint)
 				return false
 			}
 			if !c.Ret.Constrain(sym.Root, iv) {

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"io"
 	"sync/atomic"
 
 	"repro/internal/cache"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Core is one simulated in-order processor.
@@ -47,6 +47,12 @@ type Core struct {
 	// attributes eagerly and ignores it.
 	attributedUntil int64
 
+	// nackWaitSince is the cycle the core's current pending access was
+	// first NACKed (0 when no NACK wait is in progress); the eventual
+	// success observes the total wait into the NackWait histogram, an
+	// abort discards it.
+	nackWaitSince int64
+
 	Stats  CoreStats
 	RetAgg RetconAgg
 }
@@ -63,7 +69,18 @@ type Machine struct {
 	barrierArrived int
 	//retcon:reset-keep per-request scratch; coherentRequest truncates it at every use
 	targetsBuf []int
-	traceW     io.Writer
+	// rec is the attached structured event recorder (nil when recording
+	// is off — the only cost the disabled path pays is that nil check).
+	rec *telemetry.Recorder
+	// metrics is the run's metric registry: abort-cause counts and the
+	// latency histograms snapshotted into Result.Metrics. Everything in
+	// it is a pure function of (spec, params, seed) — never of the
+	// scheduler — so Results stay byte-identical across schedulers.
+	metrics MetricsAgg
+	// schedStats tracks how the event-driven scheduler split the run
+	// between its event loops and the dense inner loop. Deliberately NOT
+	// part of Result: it depends on the scheduler, and Results must not.
+	schedStats SchedStats
 
 	sched      Scheduler
 	commitHook CommitObserver
@@ -184,7 +201,9 @@ func (m *Machine) Reset(p Params, img *mem.Image, progs []*isa.Program) error {
 	m.Now = 0
 	m.tsCounter = 0
 	m.barrierArrived = 0
-	m.traceW = nil
+	m.rec = nil
+	m.metrics = MetricsAgg{}
+	m.schedStats = SchedStats{}
 	m.sched = newScheduler(p.Sched)
 	m.commitHook = nil
 	m.hookErr = nil
@@ -239,6 +258,7 @@ func (c *Core) resetFor(prog *isa.Program, specCap int, retCfg core.Config, p Pa
 	}
 	c.pendingTS = 0
 	c.nackProbeValid = false
+	c.nackWaitSince = 0
 	c.halted = false
 	c.barrierWait = false
 	c.stallUntil = 0
@@ -274,6 +294,10 @@ func (m *Machine) OnCommit(fn CommitObserver) { m.commitHook = fn }
 // event-driven time-skip scheduler by default, or the lockstep reference
 // oracle; both produce identical Results.
 func (m *Machine) Run() (*Result, error) {
+	// Flush on every exit, including panic unwinds: a failed run leaves
+	// its recorded events as a clean, record-aligned prefix of the
+	// stream a successful run would have produced.
+	defer m.rec.Flush()
 	if err := m.sched.Run(m); err != nil {
 		return nil, err
 	}
@@ -284,6 +308,7 @@ func (m *Machine) Run() (*Result, error) {
 		Cycles:  m.Now,
 		Cores:   m.P.Cores,
 		Mode:    m.P.Mode,
+		Metrics: m.metrics,
 		PerCore: make([]CoreStats, 0, len(m.Cores)),
 	}
 	for _, c := range m.Cores {
@@ -437,8 +462,10 @@ func (c *Core) setStall(until int64, cat Category) {
 // predictor on the conflicting block (if any), and schedules the restart
 // with a short backoff. It is safe to call on a core that is mid-stall
 // (remote abort): the pending operation's effects were applied atomically
-// at issue and are undone here.
-func (m *Machine) abort(c *Core, blameBlock int64) {
+// at issue and are undone here. Every abort carries exactly one cause
+// from the telemetry taxonomy, counted in the metrics registry and
+// stamped on the recorded abort event.
+func (m *Machine) abort(c *Core, blameBlock int64, cause telemetry.Cause) {
 	if m.lazyAttr && c.ID != m.execID {
 		// Remote abort under lazy attribution: bring the victim's accounting
 		// to exactly the point the lockstep stepper would have reached this
@@ -452,20 +479,27 @@ func (m *Machine) abort(c *Core, blameBlock int64) {
 			m.settle(c, m.Now-1)
 		}
 	}
+	// wasted is the work this abort throws away — exactly the cycles the
+	// next lines reattribute to the conflict category.
+	wasted := c.Tx.AccumBusy + c.Tx.AccumOther
 	c.Stats.Cycles[CatBusy] -= c.Tx.AccumBusy
 	c.Stats.Cycles[CatOther] -= c.Tx.AccumOther
-	c.Stats.Cycles[CatConflict] += c.Tx.AccumBusy + c.Tx.AccumOther
+	c.Stats.Cycles[CatConflict] += wasted
 	c.Tx.Rollback(m.Mem.WriteInt)
 	c.Ret.Reset()
 	c.Regs = c.Tx.RegCkpt
 	c.PC = c.Tx.BeginPC
 	c.Tx.Aborts++
 	c.Stats.Aborts++
+	c.nackWaitSince = 0 // any NACK wait in progress dies with the attempt
+	m.metrics.AbortCause[cause]++
+	m.metrics.AbortWaste.Observe(wasted)
 	if blameBlock >= 0 {
 		m.observeConflict(c, blameBlock)
 	}
-	if m.traceEnabled() {
-		m.trace(c, "abort   attempt=%d blame=block %#x, restart pc=%d", c.Tx.Aborts, blameBlock, c.PC)
+	if m.rec != nil {
+		m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindAbort, Cause: cause,
+			Tx: c.Tx.TS, Block: blameBlock, A: int64(c.Tx.Aborts), B: int64(c.PC), C: wasted})
 	}
 	backoff := m.P.AbortBackoffBase * int64(min(c.Tx.Aborts, 8))
 	c.setStall(m.Now+backoff, CatConflict)
@@ -496,5 +530,21 @@ func (m *Machine) nextTS() int64 {
 func (m *Machine) observeConflict(c *Core, block int64) {
 	if m.P.Mode != Eager {
 		c.Pred.ObserveConflict(block)
+		if m.rec != nil {
+			m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindTrain, Block: block, A: 1})
+		}
+	}
+}
+
+// trainDown trains the tracking predictor away from the block holding
+// word after a violation-class outcome (constraint violation, fold
+// reject, structure overflow), so the retry does not re-track the same
+// root into the same dead end. The shared exit for every
+// ObserveViolation site, so training decisions are recorded uniformly.
+func (m *Machine) trainDown(c *Core, word int64) {
+	block := mem.BlockOf(word)
+	c.Pred.ObserveViolation(block)
+	if m.rec != nil {
+		m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindTrain, Block: block, A: -1})
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -111,16 +112,27 @@ func BenchmarkMachineReset(b *testing.B) {
 // this test catches whatever slips past the static rules (indirect
 // calls, growth in un-annotated callees). Keep the two sets in sync:
 // annotate a function when its allocations would land in this budget.
+// The telemetry rows pin the observability layer's cost contract both
+// ways. With no recorder attached (the rows above — emission sites are
+// always compiled in) the budget is unchanged: a disabled decision
+// point is one nil check. With a recorder attached (record=true rows)
+// the budget is STILL unchanged: Emit appends a value into the
+// recorder's pre-sized ring and flushes batches to the sink, so an
+// instrumented steady-state run allocates exactly what an
+// uninstrumented one does.
 func TestAllocsPerCycleRegression(t *testing.T) {
 	for _, tc := range []struct {
 		wl     string
 		mode   sim.Mode
 		cores  int
 		budget float64 // allocs per simulated cycle
+		record bool    // attach a persistent telemetry recorder
 	}{
-		{"counter", sim.Eager, 8, 0.0001},
-		{"counter", sim.RetCon, 16, 0.0002},
-		{"counter", sim.LazyVB, 16, 0.0002},
+		{"counter", sim.Eager, 8, 0.0001, false},
+		{"counter", sim.RetCon, 16, 0.0002, false},
+		{"counter", sim.LazyVB, 16, 0.0002, false},
+		{"counter", sim.Eager, 8, 0.0001, true},
+		{"counter", sim.RetCon, 16, 0.0002, true},
 	} {
 		w, err := workloads.Lookup(tc.wl)
 		if err != nil {
@@ -134,6 +146,14 @@ func TestAllocsPerCycleRegression(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// The recorder (and its ring) is built once and re-attached after
+		// every Reset, the way a long-lived harness would hold it; only
+		// steady-state emission cost lands inside the measured closure.
+		var rec *telemetry.Recorder
+		if tc.record {
+			rec = telemetry.NewRecorder(discardSink{}, 0)
+			m.Record(rec)
+		}
 		if _, err := m.Run(); err != nil {
 			t.Fatal(err) // warm-up: grow buffers to steady state
 		}
@@ -142,6 +162,9 @@ func TestAllocsPerCycleRegression(t *testing.T) {
 			if err := m.Reset(p, bundle.Mem, bundle.Programs); err != nil {
 				t.Fatal(err)
 			}
+			if rec != nil {
+				m.Record(rec)
+			}
 			res, err := m.Run()
 			if err != nil {
 				t.Fatal(err)
@@ -149,11 +172,17 @@ func TestAllocsPerCycleRegression(t *testing.T) {
 			cycles = res.Cycles
 		})
 		perCycle := allocs / float64(cycles)
-		t.Logf("%s/%v/%d: %.1f allocs per run, %d cycles, %.6f allocs/cycle (budget %.6f)",
-			tc.wl, tc.mode, tc.cores, allocs, cycles, perCycle, tc.budget)
+		t.Logf("%s/%v/%d record=%v: %.1f allocs per run, %d cycles, %.6f allocs/cycle (budget %.6f)",
+			tc.wl, tc.mode, tc.cores, tc.record, allocs, cycles, perCycle, tc.budget)
 		if perCycle > tc.budget {
-			t.Errorf("%s/%v/%d: %.6f allocs/cycle exceeds the steady-state budget %.6f",
-				tc.wl, tc.mode, tc.cores, perCycle, tc.budget)
+			t.Errorf("%s/%v/%d record=%v: %.6f allocs/cycle exceeds the steady-state budget %.6f",
+				tc.wl, tc.mode, tc.cores, tc.record, perCycle, tc.budget)
 		}
 	}
 }
+
+// discardSink drops flushed batches; it isolates emission cost from
+// any wire encoding in the allocation measurement.
+type discardSink struct{}
+
+func (discardSink) WriteEvents([]telemetry.Event) error { return nil }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // accessStatus is the outcome of a memory request.
@@ -64,13 +65,12 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 		m.observeConflict(c, block)
 		if allowNack {
 			c.Stats.Nacks++
-			if m.traceEnabled() {
-				//lint:alloc-ok trace-gated; args box only when -trace is on
-				m.trace(c, "nack    block %#x held by core %d (older)", block, h)
+			if m.rec != nil {
+				m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindNack, Block: block, A: int64(h)})
 			}
 			return 0, accessNack
 		}
-		m.abort(c, block)
+		m.abort(c, block, telemetry.CauseConflict)
 		return 0, accessAbort
 	}
 
@@ -80,14 +80,13 @@ func (m *Machine) coherentRequest(c *Core, block int64, isWrite, allowNack bool)
 		hc := m.Cores[h]
 		if hc.Tx.Active && hc.Ret.Tracked(block) != nil {
 			if isWrite {
-				if hc.Ret.MarkLost(block) && m.traceEnabled() {
-					//lint:alloc-ok trace-gated; args box only when -trace is on
-					m.trace(hc, "release block %#x stolen by core %d (symbolic, no conflict)", block, c.ID)
+				if hc.Ret.MarkLost(block) && m.rec != nil {
+					m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(hc.ID), Kind: telemetry.KindRelease, Block: block, A: int64(c.ID)})
 				}
 			}
 		} else if hc.Tx.Active {
 			if sb, ok := hc.Tx.Spec.Get(block); ok && (sb.Written || (isWrite && sb.Read)) {
-				m.abort(hc, block)
+				m.abort(hc, block, telemetry.CauseConflict)
 			}
 		}
 		if isWrite {
@@ -163,7 +162,7 @@ func (m *Machine) memAccess(c *Core, block int64, isWrite, setSpec, allowNack bo
 			// Speculative-metadata overflow: abort (OneTM fallback). This
 			// never fires on the paper workloads; the statistic proves it.
 			c.Stats.Overflows++
-			m.abort(c, -1)
+			m.abort(c, -1, telemetry.CauseSpecOverflow)
 			return 0, accessAbort
 		}
 	}
@@ -238,6 +237,9 @@ func (m *Machine) load(c *Core, addr int64, size uint8) (val int64, sym core.Sym
 				return 0, core.SymVal{}, 0, ast
 			}
 			if ivb, ok := c.Ret.Track(block, m.Mem); ok {
+				if m.rec != nil {
+					m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: int32(c.ID), Kind: telemetry.KindTrack, Tx: c.Tx.TS, Block: block})
+				}
 				w := ivb.Word(word)
 				if size == 8 && !c.Ret.Cfg.Lazy {
 					return w, core.Sym(word), alat, accessOK
@@ -250,7 +252,7 @@ func (m *Machine) load(c *Core, addr int64, size uint8) (val int64, sym core.Sym
 			// IVB full: fall through to a normal (conflict-detected) load.
 			if !c.Tx.Spec.Mark(block, false) {
 				c.Stats.Overflows++
-				m.abort(c, -1)
+				m.abort(c, -1, telemetry.CauseSpecOverflow)
 				return 0, core.SymVal{}, 0, accessAbort
 			}
 			return m.Mem.ReadInt(addr, size), core.SymVal{}, alat, accessOK
@@ -381,7 +383,7 @@ func (m *Machine) normalStore(c *Core, addr int64, size uint8, data int64) (int6
 // block so the workload does not livelock on the same overflow.
 func (m *Machine) structOverflowAbort(c *Core, rootWord int64) (int64, core.SymVal, int64, accessStatus) {
 	c.RetAgg.StructureOverflowAborts++
-	c.Pred.ObserveViolation(mem.BlockOf(rootWord))
-	m.abort(c, -1)
+	m.trainDown(c, rootWord)
+	m.abort(c, -1, telemetry.CauseStructOverflow)
 	return 0, core.SymVal{}, 0, accessAbort
 }

@@ -55,7 +55,7 @@ func (mp *MachinePool) Put(m *Machine) {
 	}
 	m.Mem = nil
 	m.commitHook = nil
-	m.traceW = nil
+	m.rec = nil
 	for _, c := range m.allCores {
 		c.Prog = nil
 		c.instrs = nil

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // neverWakes is the wake time of a core with no timed wake event; it is
@@ -191,11 +193,13 @@ func (eventSched) Run(m *Machine) error {
 			done bool
 			err  error
 		)
+		spanStart := m.Now
 		if useScan {
 			done, err = m.runScan()
 		} else {
 			done, err = m.runWheel()
 		}
+		m.schedStats.EventCycles += m.Now - spanStart
 		if done || err != nil {
 			return err
 		}
@@ -204,16 +208,27 @@ func (eventSched) Run(m *Machine) error {
 		// attributed — it executed this cycle — or mid-wait with its wait
 		// category still pending, exactly what settle charges), then run
 		// eagerly attributed dense cycles until the phase ends.
+		m.schedStats.Handoffs++
+		if m.rec != nil {
+			// Scheduler-infrastructure event: masked out of ArchKinds, so
+			// default streams stay scheduler-portable.
+			m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: -1, Kind: telemetry.KindHandoff, A: 1})
+		}
 		for _, c := range m.Cores {
 			if !c.halted {
 				m.settle(c, m.Now)
 			}
 		}
 		m.lazyAttr = false
+		spanStart = m.Now
 		done, err = m.runDense()
+		m.schedStats.DenseCycles += m.Now - spanStart
 		m.lazyAttr = true
 		if done || err != nil {
 			return err
+		}
+		if m.rec != nil {
+			m.rec.Emit(telemetry.Event{Cycle: m.Now, Core: -1, Kind: telemetry.KindHandoff, A: 0})
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
 
 // Category classifies each simulated core-cycle for the Figure 4 / Figure
 // 10 execution-time breakdowns.
@@ -82,6 +85,45 @@ func (a *RetconAgg) record(st core.TxStats, txCycles int64) {
 	a.MaxCommitCycles = max(a.MaxCommitCycles, st.CommitCycles)
 }
 
+// MetricsAgg is the run's metric registry: the abort-cause breakdown
+// and the latency histograms the observability layer maintains beyond
+// the paper's own counters. Everything in it is a value type and a
+// pure function of (spec, params, seed) — never of the scheduler or
+// the worker count — so Results carrying it stay comparable across
+// schedulers (the lab's divergence oracle DeepEquals them).
+type MetricsAgg struct {
+	// AbortCause counts aborts by telemetry cause taxonomy.
+	AbortCause [telemetry.NumCauses]int64
+	// NackWait is the distribution of cycles between an access's first
+	// NACK and its eventual success (aborted waits are discarded).
+	NackWait telemetry.Hist
+	// AbortWaste is the distribution of discarded work per abort: the
+	// busy+other cycles reattributed to the conflict category.
+	AbortWaste telemetry.Hist
+	// RepairLat is the distribution of pre-commit repair latencies over
+	// repairing commits.
+	RepairLat telemetry.Hist
+	// RepairDelta is the distribution, per repairing commit, of cycles
+	// saved versus a full replay: the attempt's accumulated work minus
+	// the repair latency (negative when the repair cost more than the
+	// work it preserved).
+	RepairDelta telemetry.Hist
+}
+
+// SchedStats describes how the event-driven scheduler split a run
+// between its event loops (scan or wheel) and the dense lockstep-like
+// inner loop. It lives on the Machine, not the Result: it is a
+// property of the scheduler, and Results are scheduler-invariant by
+// contract. Under the lockstep scheduler it is all zeros.
+type SchedStats struct {
+	EventCycles int64 // simulated cycles covered by the scan/wheel event loops
+	DenseCycles int64 // simulated cycles covered by the dense inner loop
+	Handoffs    int64 // event->dense mode switches
+}
+
+// SchedStats returns the scheduler-occupancy counters for the last Run.
+func (m *Machine) SchedStats() SchedStats { return m.schedStats }
+
 // Result summarizes one simulation run.
 type Result struct {
 	Cycles  int64 // total cycles until all cores halted
@@ -89,6 +131,23 @@ type Result struct {
 	Mode    Mode
 	PerCore []CoreStats
 	Retcon  RetconAgg
+	Metrics MetricsAgg
+}
+
+// MetricsSnapshot renders the run's metric registry as an ordered,
+// deterministic snapshot (fixed metric order, no map iteration).
+func (r *Result) MetricsSnapshot() telemetry.Snapshot {
+	s := make(telemetry.Snapshot, 0, int(telemetry.NumCauses)+3)
+	for c := telemetry.CauseNone + 1; c < telemetry.NumCauses; c++ {
+		s = append(s, telemetry.Metric{Name: "aborts." + c.String(), Value: r.Metrics.AbortCause[c]})
+	}
+	s = append(s,
+		telemetry.Metric{Name: "nack_wait_cycles", Value: r.Metrics.NackWait.Count, Hist: &r.Metrics.NackWait},
+		telemetry.Metric{Name: "abort_wasted_cycles", Value: r.Metrics.AbortWaste.Count, Hist: &r.Metrics.AbortWaste},
+		telemetry.Metric{Name: "repair_cycles", Value: r.Metrics.RepairLat.Count, Hist: &r.Metrics.RepairLat},
+		telemetry.Metric{Name: "repair_vs_replay_delta", Value: r.Metrics.RepairDelta.Count, Hist: &r.Metrics.RepairDelta},
+	)
+	return s
 }
 
 // Totals sums the per-core counters.

@@ -47,6 +47,12 @@ type Engine struct {
 	// runs drain normally (and are journaled), runs not yet started
 	// resolve to ErrInterrupted outcomes without executing.
 	Stop <-chan struct{}
+	// Progress, when non-nil, receives atomic completion counters as the
+	// sweep executes, for an external reporter goroutine to poll (the
+	// CLIs' -progress flag). The engine only ever increments counters —
+	// rendering, timing and ETA math stay outside the deterministic
+	// packages.
+	Progress *Progress
 }
 
 func (e *Engine) workers() int {
@@ -107,10 +113,14 @@ func (e *Engine) ExecuteStream(runs []Run, emit func(Outcome)) {
 		err error
 	}
 	fn := e.taskFunc()
+	if e.Progress != nil {
+		e.Progress.Total.Add(int64(len(uniq)))
+	}
 	exec := func(i int) slot {
 		r := uniq[i]
 		if e.Journal != nil {
 			if res, err, ok := e.Journal.Lookup(r); ok {
+				e.progressDone(err)
 				return slot{res, err}
 			}
 		}
@@ -122,6 +132,7 @@ func (e *Engine) ExecuteStream(runs []Run, emit func(Outcome)) {
 				res, err = nil, jerr
 			}
 		}
+		e.progressDone(err)
 		return slot{res, err}
 	}
 	skip := func(int) slot { return slot{nil, ErrInterrupted} }

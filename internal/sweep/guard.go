@@ -161,6 +161,7 @@ func (e *Engine) guardedRun(fn TaskFunc, r Run) (*sim.Result, error) {
 		if Classify(err).Deterministic() || attempt >= e.Retries {
 			return nil, err
 		}
+		e.progressRetry()
 		//lint:nondet-safe seeded retry backoff; a wall-clock pause between attempts, never reaches a Result
 		time.Sleep(retryDelay(r, attempt, e.RetrySeed, e.retryBackoff()))
 	}

@@ -45,6 +45,7 @@ type Journal struct {
 	w       *os.File
 	entries map[key]journalEntry
 	hits    int
+	misses  int
 }
 
 // NewJournal returns an in-memory journal: outcomes are memoized within
@@ -130,6 +131,8 @@ func (j *Journal) Lookup(r Run) (res *sim.Result, err error, ok bool) {
 	e, ok := j.entries[r.key()]
 	if ok {
 		j.hits++
+	} else {
+		j.misses++
 	}
 	return e.res, e.err, ok
 }
@@ -174,6 +177,15 @@ func (j *Journal) Hits() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.hits
+}
+
+// Misses returns how many engine lookups found no journaled outcome and
+// fell through to a real run — Hits+Misses is the total lookup count,
+// and the CLIs' end-of-run summary prints both.
+func (j *Journal) Misses() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.misses
 }
 
 // Close flushes and closes the journal file, if any.

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Hist is an inline power-of-two histogram: fixed-size, value-typed,
+// alloc-free to observe into, and comparable field by field — so it
+// can live directly inside a Result and ride through the scheduler
+// equivalence oracle. Bucket i counts values of bit-length i
+// (i.e. in [2^(i-1), 2^i)); bucket 0 counts values <= 0; the top
+// bucket absorbs everything wider than 15 bits. Sum/Min/Max keep the
+// exact values, so means survive the bucketing.
+type Hist struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets [17]int64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v int64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+		if b > len(h.Buckets)-1 {
+			b = len(h.Buckets) - 1
+		}
+	}
+	h.Buckets[b]++
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// A Metric is one named entry in a snapshot: a counter (Hist nil) or a
+// histogram (Value is the observation count).
+type Metric struct {
+	Name  string
+	Value int64
+	Hist  *Hist
+}
+
+// A Snapshot is an ordered list of metrics. Order is fixed by the
+// producer, never by map iteration, so rendered snapshots are
+// deterministic.
+type Snapshot []Metric
+
+// WriteText renders the snapshot, one metric per line.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, m := range s {
+		if m.Hist == nil {
+			if _, err := fmt.Fprintf(w, "%-28s %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		h := m.Hist
+		if _, err := fmt.Fprintf(w, "%-28s count=%d sum=%d min=%d max=%d mean=%.1f\n",
+			m.Name, h.Count, h.Sum, h.Min, h.Max, h.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 	"repro/internal/wspec"
 )
@@ -54,13 +55,16 @@ const (
 // ParseSched parses a scheduler name: "event" or "lockstep".
 func ParseSched(s string) (SchedKind, error) { return sim.ParseSched(s) }
 
-// Result is a completed simulation with its statistics.
+// Result is a completed simulation with its statistics. Everything in
+// Sim is scheduler-invariant; Sched is the one scheduler-dependent
+// extra (the event scheduler's loop occupancy, zeros under lockstep).
 type Result struct {
 	Workload string
 	Threads  int
 	Mode     Mode
 	Cycles   int64
 	Sim      *sim.Result
+	Sched    sim.SchedStats
 }
 
 // Workload is a runnable benchmark kernel.
@@ -106,14 +110,39 @@ func RunSeeded(w Workload, cfg Config, seed int64) (*Result, error) {
 // written to tw (begin/commit/abort/NACK/symbolic-loss/repair lines).
 // Tracing is exact, not sampled; use it on small machines.
 func RunTraced(w Workload, cfg Config, seed int64, tw io.Writer) (*Result, error) {
+	return run(w, cfg, seed, func(m *sim.Machine) {
+		if tw != nil {
+			m.TraceTo(tw)
+		}
+	})
+}
+
+// RunRecorded is RunSeeded with a structured event recorder attached:
+// every architectural decision selected by the recorder's kind mask is
+// emitted as a typed telemetry.Event (see internal/telemetry). The
+// recorded stream is a pure function of (workload, cfg, seed) — byte-
+// identical across schedulers — and the machine flushes the recorder
+// when the run ends; check rec.Err afterwards for sink failures. The
+// result additionally carries the scheduler-occupancy counters in
+// Sched (how the event scheduler split the run between its event loops
+// and the dense inner loop — all zeros under lockstep).
+func RunRecorded(w Workload, cfg Config, seed int64, rec *telemetry.Recorder) (*Result, error) {
+	return run(w, cfg, seed, func(m *sim.Machine) {
+		if rec != nil {
+			m.Record(rec)
+		}
+	})
+}
+
+// run is the shared build-simulate-verify path under Run, RunTraced and
+// RunRecorded; instrument is applied to the machine before it runs.
+func run(w Workload, cfg Config, seed int64, instrument func(*sim.Machine)) (*Result, error) {
 	bundle := w.Build(cfg.Cores, seed)
 	machine, err := sim.New(cfg, bundle.Mem, bundle.Programs)
 	if err != nil {
 		return nil, fmt.Errorf("retcon: %s: %w", w.Name(), err)
 	}
-	if tw != nil {
-		machine.TraceTo(tw)
-	}
+	instrument(machine)
 	res, err := machine.Run()
 	if err != nil {
 		return nil, fmt.Errorf("retcon: %s: %w", w.Name(), err)
@@ -129,6 +158,7 @@ func RunTraced(w Workload, cfg Config, seed int64, tw io.Writer) (*Result, error
 		Mode:     cfg.Mode,
 		Cycles:   res.Cycles,
 		Sim:      res,
+		Sched:    machine.SchedStats(),
 	}, nil
 }
 

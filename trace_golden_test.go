@@ -1,0 +1,143 @@
+package retcon_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	retcon "repro"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden trace files from the current implementation")
+
+// goldenTracePath is the committed reference trace for counter/RetCon
+// on 4 cores, seed 1 — the pinned form of the observability contract:
+// the recorded event stream is a pure function of (workload, params,
+// seed), independent of scheduler and sweep worker count.
+const goldenTracePath = "testdata/trace_counter_retcon_c4_s1.jsonl"
+
+// recordDirect runs counter/RetCon@4 under the given scheduler with a
+// JSONL recorder and returns the trace bytes.
+func recordDirect(t *testing.T, sched retcon.SchedKind) []byte {
+	t.Helper()
+	w, err := retcon.LookupWorkload("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(4, retcon.ModeRetCon)
+	c.Sched = sched
+	var buf bytes.Buffer
+	rec := telemetry.NewRecorder(telemetry.NewJSONLSink(&buf), 0)
+	if _, err := retcon.RunRecorded(w, c, 1, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// recordViaSweep executes a small mixed grid through the sweep engine
+// with the given worker count, attaching a recorder to just the
+// counter/RetCon@4 run, and returns that run's trace bytes. The other
+// grid points exist to keep the pool busy so machine reuse and worker
+// interleaving get a chance to perturb the trace — they must not.
+func recordViaSweep(t *testing.T, workers int) []byte {
+	t.Helper()
+	base := retcon.DefaultConfig()
+	var runs []sweep.Run
+	for _, mode := range []retcon.Mode{retcon.ModeEager, retcon.ModeLazyVB, retcon.ModeRetCon} {
+		for _, cores := range []int{2, 4} {
+			p := base
+			p.Mode = mode
+			p.Cores = cores
+			runs = append(runs, sweep.Run{Workload: "counter", Seed: 1, Params: p})
+		}
+	}
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	eng := sweep.Engine{
+		Workers: workers,
+		Tasks: sweep.SimRunner(func(r sweep.Run, m *sim.Machine) {
+			if r.Params.Mode != retcon.ModeRetCon || r.Params.Cores != 4 {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			m.Record(telemetry.NewRecorder(telemetry.NewJSONLSink(&buf), 0))
+		}),
+	}
+	for _, o := range eng.Execute(runs) {
+		if o.Err != nil {
+			t.Fatalf("%s (%v, %d cores): %v", o.Run.Workload, o.Run.Params.Mode, o.Run.Params.Cores, o.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return buf.Bytes()
+}
+
+// TestTraceGoldenDeterminism pins the recorded event stream four ways —
+// lockstep, event-driven, and through the sweep engine with 1 and 8
+// workers — against the committed golden file. Regenerate with
+// `go test -run TraceGolden -update-golden .` after an intentional
+// schema or simulator change.
+func TestTraceGoldenDeterminism(t *testing.T) {
+	variants := []struct {
+		name string
+		got  []byte
+	}{
+		{"lockstep", recordDirect(t, retcon.SchedLockstep)},
+		{"event", recordDirect(t, retcon.SchedEvent)},
+		{"sweep-1worker", recordViaSweep(t, 1)},
+		{"sweep-8workers", recordViaSweep(t, 8)},
+	}
+	if len(variants[0].got) == 0 {
+		t.Fatal("recorded trace is empty")
+	}
+	for _, v := range variants[1:] {
+		if !bytes.Equal(variants[0].got, v.got) {
+			t.Errorf("%s trace differs from %s trace (%d vs %d bytes)",
+				v.name, variants[0].name, len(v.got), len(variants[0].got))
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, variants[0].got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenTracePath, len(variants[0].got))
+		return
+	}
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(want, variants[0].got) {
+		t.Errorf("trace differs from the committed golden %s (%d vs %d bytes); if the change is intentional re-run with -update-golden",
+			goldenTracePath, len(variants[0].got), len(want))
+	}
+
+	// The golden file must round-trip through the trace reader: ReadEvents
+	// then re-encoding reproduces the bytes exactly.
+	evs, err := telemetry.ReadEvents(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if err := telemetry.NewJSONLSink(&re).WriteEvents(evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), want) {
+		t.Error("golden trace does not round-trip through ReadEvents")
+	}
+}
